@@ -1,0 +1,34 @@
+"""Shared configuration of the macro benchmarks.
+
+Every figure benchmark runs the corresponding experiment exactly once
+(``benchmark.pedantic(rounds=1)``): the quantity of interest is the
+*simulated* disk time of each approach, which is deterministic, so repeated
+timing rounds would only burn wall-clock time.  The simulated results are
+attached to ``benchmark.extra_info`` so they appear in the pytest-benchmark
+report next to the wall-time of the simulation itself.
+
+Set the ``REPRO_BENCH_SCALE`` environment variable to ``small``/``medium``/
+``paper`` to run the benchmarks at a larger scale (default: a reduced
+``tiny`` preset so the whole suite completes in a few minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.scales import SCALES, ExperimentScale
+
+
+def _benchmark_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "")
+    if name:
+        return SCALES[name]
+    return SCALES["tiny"].scaled(name="bench-tiny", n_queries=40)
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The scale preset used by all macro benchmarks in this run."""
+    return _benchmark_scale()

@@ -1,0 +1,78 @@
+"""Figure 4 — total workload processing cost vs number of datasets queried.
+
+One benchmark per panel of the paper's Figure 4.  Each benchmark regenerates
+the panel (all approaches, all x-axis positions) and records, per approach,
+the simulated indexing/querying/total seconds in ``extra_info`` — these are
+the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure4
+from repro.bench.reporting import format_figure4_table
+
+
+def _run_panel(benchmark, scale, ids_distribution: str, ranges: str):
+    datasets_queried = tuple(
+        k for k in (1, 3, 5) if k <= scale.n_datasets
+    )
+
+    def run():
+        return figure4(
+            ids_distribution=ids_distribution,
+            ranges=ranges,
+            scale=scale,
+            datasets_queried=datasets_queried,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["panel"] = f"ranges={ranges}, ids={ids_distribution}"
+    for point in result.points:
+        for name, cell in point.cells.items():
+            key = f"k={point.datasets_queried} {name}"
+            benchmark.extra_info[key] = {
+                "indexing_s": round(cell.indexing_seconds, 4),
+                "querying_s": round(cell.querying_seconds, 4),
+                "total_s": round(cell.total_seconds, 4),
+            }
+    print()
+    print(format_figure4_table(result))
+    return result
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4a_clustered_zipf(benchmark, scale):
+    """Figure 4a: clustered query ranges, Zipf-distributed dataset ids."""
+    result = _run_panel(benchmark, scale, "zipf", "clustered")
+    # Shape check (paper): static sophisticated indexes spend more time
+    # building than Space Odyssey spends on the entire workload.
+    for point in result.points:
+        assert point.cells["FLAT-Ain1"].indexing_seconds > point.cells["Odyssey"].total_seconds
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4b_clustered_heavy_hitter(benchmark, scale):
+    """Figure 4b: clustered query ranges, heavy-hitter dataset ids."""
+    result = _run_panel(benchmark, scale, "heavy_hitter", "clustered")
+    for point in result.points:
+        assert point.cells["Grid-1fE"].indexing_seconds < point.cells["RTree-Ain1"].indexing_seconds
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4c_clustered_self_similar(benchmark, scale):
+    """Figure 4c: clustered query ranges, self-similar dataset ids."""
+    result = _run_panel(benchmark, scale, "self_similar", "clustered")
+    for point in result.points:
+        assert point.cells["Odyssey"].indexing_seconds == 0.0
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4d_uniform_uniform(benchmark, scale):
+    """Figure 4d: uniform ranges and uniform dataset ids (worst case)."""
+    result = _run_panel(benchmark, scale, "uniform", "uniform")
+    # Under no skew the adaptive approach loses its edge against the Grid
+    # for larger combinations (the paper's crossover).
+    last = result.points[-1]
+    assert last.cells["Grid-1fE"].total_seconds <= last.cells["Odyssey"].total_seconds * 1.5

@@ -1,0 +1,67 @@
+"""Figure 5 — per-query response times and the effect of merging."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.bench.experiments import figure5a, figure5b, figure5c
+from repro.bench.reporting import (
+    format_figure5_summary,
+    format_figure5c_summary,
+)
+
+
+def _record_series(benchmark, result):
+    for name, series in result.series.items():
+        benchmark.extra_info[name] = {
+            "indexing_s": round(series.indexing_seconds, 4),
+            "first_query_s": round(series.per_query_seconds[0], 6),
+            "median_query_s": round(statistics.median(series.per_query_seconds), 6),
+            "tail_mean_s": round(series.tail_mean(), 6),
+            "total_s": round(series.total_seconds, 4),
+        }
+    print()
+    print(format_figure5_summary(result))
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5a_clustered_self_similar(benchmark, scale):
+    """Figure 5a: per-query times, clustered ranges, self-similar ids, k=5."""
+    result = benchmark.pedantic(lambda: figure5a(scale=scale), rounds=1, iterations=1)
+    _record_series(benchmark, result)
+    odyssey = result.get("Odyssey")
+    # Convergence (paper C5): the first query is the most expensive and the
+    # tail converges to within an order of magnitude of the static indexes.
+    assert odyssey.per_query_seconds[0] == max(odyssey.per_query_seconds)
+    assert odyssey.tail_mean() < odyssey.per_query_seconds[0] / 3
+    assert odyssey.indexing_seconds == 0.0
+    flat = result.get("FLAT-Ain1")
+    assert flat.indexing_seconds > odyssey.total_seconds / 2
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5b_uniform_uniform(benchmark, scale):
+    """Figure 5b: per-query times, uniform ranges and ids, k=5."""
+    result = benchmark.pedantic(lambda: figure5b(scale=scale), rounds=1, iterations=1)
+    _record_series(benchmark, result)
+    odyssey = result.get("Odyssey")
+    # Convergence still happens, just more slowly than in the skewed case.
+    assert odyssey.tail_mean() < odyssey.per_query_seconds[0]
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5c_effect_of_merging(benchmark, scale):
+    """Figure 5c: Odyssey with vs without merging on the popular combination."""
+    result = benchmark.pedantic(lambda: figure5c(scale=scale), rounds=1, iterations=1)
+    benchmark.extra_info["popular_combination"] = list(result.popular_combination)
+    benchmark.extra_info["popular_query_count"] = result.popular_query_count
+    benchmark.extra_info["average_gain_percent"] = round(result.average_gain_percent, 2)
+    benchmark.extra_info["total_gain_percent"] = round(result.total_gain_percent, 2)
+    print()
+    print(format_figure5c_summary(result))
+    assert result.merges_performed >= 1
+    assert result.popular_query_count > 0
+    # Merging must not make the popular combination substantially slower.
+    assert result.total_gain_percent > -10.0

@@ -1,0 +1,121 @@
+"""Micro-benchmarks of the substrate components (real wall time).
+
+Unlike the figure benchmarks (whose metric is *simulated* disk time), these
+measure the actual Python execution speed of the building blocks: binary
+codecs, STR packing, partition refinement, grid builds and query routing.
+They are the benchmarks a contributor watches when optimising the library
+itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.grid import GridIndex
+from repro.baselines.rtree import STRRTree
+from repro.baselines.str_packing import str_sort_tile
+from repro.core.adaptor import Adaptor
+from repro.core.config import OdysseyConfig
+from repro.data.dataset import Dataset
+from repro.data.generator import NeuroscienceDatasetGenerator, brain_universe
+from repro.data.spatial_object import spatial_object_codec
+from repro.geometry.box import Box
+from repro.storage.codec import decode_page, encode_page
+from repro.storage.cost_model import DiskModel
+from repro.storage.disk import Disk
+
+
+@pytest.fixture(scope="module")
+def universe() -> Box:
+    return brain_universe()
+
+
+@pytest.fixture(scope="module")
+def objects(universe):
+    generator = NeuroscienceDatasetGenerator(universe, seed=3)
+    return list(generator.objects(dataset_id=0, count=5_000))
+
+
+@pytest.fixture
+def disk() -> Disk:
+    return Disk(model=DiskModel(), buffer_pages=0)
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_encode_decode_page(benchmark, objects):
+    codec = spatial_object_codec(3)
+    batch = objects[:63]
+
+    def roundtrip():
+        return decode_page(codec, encode_page(codec, batch, 4096))
+
+    result = benchmark(roundtrip)
+    assert len(result) == len(batch)
+
+
+@pytest.mark.benchmark(group="micro-str")
+def test_str_sort_tile_5k_objects(benchmark, objects):
+    leaves = benchmark(lambda: str_sort_tile(objects, leaf_capacity=63))
+    assert sum(len(leaf) for leaf in leaves) == len(objects)
+
+
+@pytest.mark.benchmark(group="micro-generator")
+def test_neuroscience_generation_rate(benchmark, universe):
+    generator = NeuroscienceDatasetGenerator(universe, seed=9)
+    result = benchmark(lambda: sum(1 for _ in generator.objects(0, 2_000)))
+    assert result == 2_000
+
+
+@pytest.mark.benchmark(group="micro-build")
+def test_grid_build_wall_time(benchmark, universe, objects):
+    def build():
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        dataset = Dataset.create(disk, 0, "micro_grid", objects, universe)
+        grid = GridIndex(disk, "micro_grid_idx", universe, cells_per_dim=10)
+        grid.build([dataset])
+        return grid
+
+    grid = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert grid.n_objects == len(objects)
+
+
+@pytest.mark.benchmark(group="micro-build")
+def test_rtree_build_wall_time(benchmark, universe, objects):
+    def build():
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        dataset = Dataset.create(disk, 0, "micro_rtree", objects, universe)
+        tree = STRRTree(disk, "micro_rtree_idx", universe)
+        tree.build([dataset])
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert tree.n_objects == len(objects)
+
+
+@pytest.mark.benchmark(group="micro-odyssey")
+def test_initial_partitioning_wall_time(benchmark, universe, objects):
+    def initialize():
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        dataset = Dataset.create(disk, 0, "micro_ody", objects, universe)
+        adaptor = Adaptor(OdysseyConfig())
+        tree = adaptor.create_tree(dataset)
+        adaptor.initialize(tree)
+        return tree
+
+    tree = benchmark.pedantic(initialize, rounds=3, iterations=1)
+    assert tree.n_objects == len(objects)
+
+
+@pytest.mark.benchmark(group="micro-odyssey")
+def test_refinement_wall_time(benchmark, universe, objects, disk):
+    dataset = Dataset.create(disk, 0, "micro_refine", objects, universe)
+    adaptor = Adaptor(OdysseyConfig())
+
+    def refine_hottest():
+        tree = adaptor.create_tree(dataset)
+        adaptor.initialize(tree)
+        leaf = max(tree.leaves(), key=lambda node: node.n_objects)
+        return adaptor.refine(tree, leaf)
+
+    children = benchmark.pedantic(refine_hottest, rounds=3, iterations=1)
+    assert children

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""A neuroscience-style exploration session compared against the baselines.
+
+This example reproduces the paper's motivating scenario end to end:
+
+* ten datasets (subsets of neurons of the same brain volume) exist only as
+  raw files;
+* a scientist explores particular brain regions across changing subsets of
+  the datasets, without knowing the areas or the combinations in advance;
+* we measure (in simulated disk seconds) how long it takes to get answers
+  with Space Odyssey versus first building a static index (uniform Grid and
+  FLAT) and then querying it.
+
+The output is a small "data-to-insight" table: after how much total time was
+each of the first N answers available under each approach?
+
+Run it with:
+
+    python examples/neuroscience_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import SpaceOdyssey
+from repro.baselines.flat import FLATIndex
+from repro.baselines.grid import GridIndex
+from repro.baselines.strategies import AllInOne, OneForEach
+from repro.bench.runner import run_approach
+from repro.workload import ClusteredRangeGenerator, CombinationGenerator, WorkloadBuilder
+from repro.data.suite import build_benchmark_suite
+from repro.storage.cost_model import DiskModel
+
+N_DATASETS = 10
+OBJECTS_PER_DATASET = 4_000
+N_QUERIES = 60
+CHECKPOINTS = (1, 5, 10, 25, 50)
+
+
+def build_workload(suite):
+    """Clustered ranges over Zipf-distributed combinations of 4 datasets."""
+    ranges = ClusteredRangeGenerator(
+        universe=suite.universe,
+        volume_fraction=1e-4,
+        seed=2,
+        n_cluster_centers=8,
+        cluster_centers=suite.generator.microcircuit_centers,
+    )
+    combinations = CombinationGenerator(
+        dataset_ids=suite.catalog.dataset_ids(),
+        datasets_per_query=4,
+        distribution="zipf",
+        seed=3,
+    )
+    return WorkloadBuilder(ranges, combinations).build(
+        N_QUERIES, description="neuroscience exploration session"
+    )
+
+
+def time_to_answer(result, n: int) -> float:
+    """Total simulated time until the n-th query of the session is answered."""
+    per_query = result.per_query_seconds()
+    return result.indexing_seconds + sum(per_query[:n])
+
+
+def main() -> None:
+    model = DiskModel(seek_time_s=1e-4)
+    master = build_benchmark_suite(
+        n_datasets=N_DATASETS,
+        objects_per_dataset=OBJECTS_PER_DATASET,
+        seed=7,
+        buffer_pages=512,
+        model=model,
+    )
+    workload = build_workload(master)
+    print(
+        f"{len(master.catalog)} datasets x {OBJECTS_PER_DATASET:,} objects, "
+        f"{len(workload)} queries over {workload.n_combinations_queried()} distinct combinations\n"
+    )
+
+    approaches = {
+        "Odyssey": lambda suite: SpaceOdyssey(suite.catalog),
+        "Grid-1fE": lambda suite: OneForEach(
+            suite.catalog,
+            lambda name: GridIndex(suite.disk, name, suite.universe, cells_per_dim=10),
+            "Grid-1fE",
+        ),
+        "FLAT-Ain1": lambda suite: AllInOne(
+            suite.catalog,
+            lambda name: FLATIndex(suite.disk, name, suite.universe, build_memory_pages=64),
+            "FLAT-Ain1",
+        ),
+    }
+
+    results = {}
+    for name, factory in approaches.items():
+        suite = master.fork()
+        approach = factory(suite)
+        results[name] = run_approach(approach, workload, suite.disk)
+
+    header = f"{'answer ready after (sim. s)':<30}" + "".join(f"{n:>12}" for n in CHECKPOINTS)
+    print(header)
+    print("-" * len(header))
+    for name, result in results.items():
+        row = f"{name + ' (index: %.2fs)' % result.indexing_seconds:<30}"
+        for checkpoint in CHECKPOINTS:
+            row += f"{time_to_answer(result, checkpoint):>12.3f}"
+        print(row)
+
+    odyssey = results["Odyssey"]
+    for static_name in ("Grid-1fE", "FLAT-Ain1"):
+        static = results[static_name]
+        answered = odyssey.queries_answered_within(static.indexing_seconds)
+        print(
+            f"\nby the time {static_name} finished indexing "
+            f"({static.indexing_seconds:.2f} s simulated), Space Odyssey had already "
+            f"answered {answered} of {len(workload)} queries"
+        )
+
+
+if __name__ == "__main__":
+    main()

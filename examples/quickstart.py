@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: explore several spatial datasets without indexing them first.
+
+This example builds a small synthetic neuroscience benchmark (several raw,
+*unindexed* datasets sharing one brain volume on a simulated disk), then
+issues a handful of range queries through Space Odyssey and shows how the
+engine adapts: partition trees appear only for the datasets that were
+actually queried, hot areas get refined, and frequently co-queried dataset
+combinations get merged on disk.
+
+Run it with:
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Box, OdysseyConfig, SpaceOdyssey, build_benchmark_suite
+
+
+def main() -> None:
+    # 1. Create the raw datasets (10 datasets, one shared brain volume).
+    #    In a real deployment these would be existing files on disk; here a
+    #    synthetic generator stands in for the Human Brain Project data.
+    suite = build_benchmark_suite(n_datasets=10, objects_per_dataset=3_000, seed=42)
+    catalog = suite.catalog
+    print(f"universe: {catalog.universe}")
+    print(f"datasets: {len(catalog)}, total objects: {catalog.total_objects():,}, "
+          f"raw pages on disk: {catalog.total_pages():,}")
+
+    # 2. Open an exploration session.  No indexing happens here — that is the
+    #    whole point: data-to-query time is (close to) zero.
+    odyssey = SpaceOdyssey(catalog, OdysseyConfig())  # paper defaults: rt=4, ppl=64, mt=2
+
+    # 3. A scientist inspects one brain region across three datasets.  We aim
+    #    the query at a populated region (one of the synthetic microcircuits)
+    #    the way a real exploration session would target interesting tissue.
+    microcircuits = suite.generator.microcircuit_centers
+    region = Box.cube(center=tuple(microcircuits[0]), side=60.0).clamp(catalog.universe)
+    hits = odyssey.query(region, dataset_ids=[0, 2, 5])
+    report = odyssey.last_report
+    print(f"\nquery 1: {len(hits)} objects from datasets {report.requested}")
+    print(f"  first touch initialised datasets: {report.initialized_datasets}")
+    print(f"  partitions read: {report.partitions_read}, refinements: {report.refinements}")
+
+    # 4. The same area keeps being interesting — Space Odyssey refines it and,
+    #    because the same combination is queried repeatedly, merges the hot
+    #    partitions of the three datasets into one sequentially readable file.
+    for step in range(6):
+        hits = odyssey.query(region, dataset_ids=[0, 2, 5])
+    report = odyssey.last_report
+    print(f"\nafter 7 queries on the same region:")
+    print(f"  route for the last query: {report.route!r} "
+          f"(partitions served from merge file: {report.partitions_from_merge})")
+
+    # 5. A different area and a different combination: untouched datasets are
+    #    initialised lazily, previously refined areas are unaffected.
+    other_region = Box.cube(center=tuple(microcircuits[3]), side=60.0).clamp(catalog.universe)
+    hits = odyssey.query(other_region, dataset_ids=[1, 7])
+    print(f"\nquery in a new area over datasets (1, 7): {len(hits)} objects")
+
+    # 6. Inspect the adaptive state and the simulated I/O cost.
+    summary = odyssey.summary()
+    print("\nexploration summary:")
+    print(f"  queries executed:        {summary.queries_executed}")
+    print(f"  datasets initialised:    {summary.datasets_initialized} of {len(catalog)}")
+    print(f"  partitions materialised: {summary.total_partitions}")
+    print(f"  deepest refinement:      level {summary.max_tree_depth}")
+    print(f"  merge files:             {summary.merge_files} "
+          f"({summary.merge_pages} pages, {summary.merges_performed} merge operations)")
+    stats = suite.disk.stats
+    print(f"  simulated disk time:     {stats.simulated_seconds:.3f} s "
+          f"({stats.pages_read:,} pages read, {stats.pages_written:,} written, "
+          f"{stats.seeks:,} seeks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Space Odyssey — efficient exploration of scientific data.
+
+A from-scratch Python reproduction of the system described in
+"Space Odyssey: Efficient Exploration of Scientific Data"
+(Pavlovic et al., ExploreDB/PODS 2016): adaptive, in-situ indexing of
+multiple spatial datasets plus physical co-location of the areas queried
+together, evaluated against static spatial indexes (FLAT, STR R-tree,
+uniform Grid) on a simulated paged disk.
+
+The most common entry points are re-exported here::
+
+    from repro import SpaceOdyssey, OdysseyConfig, build_benchmark_suite
+    from repro.geometry import Box
+"""
+
+from repro.baselines import (
+    AllInOne,
+    BruteForceScan,
+    FLATIndex,
+    GridIndex,
+    OneForEach,
+    STRRTree,
+)
+from repro.core import OdysseyConfig, SpaceOdyssey
+from repro.data import (
+    BenchmarkSuite,
+    Dataset,
+    DatasetCatalog,
+    NeuroscienceDatasetGenerator,
+    SpatialObject,
+    build_benchmark_suite,
+)
+from repro.geometry import Box
+from repro.storage import Disk, DiskModel
+from repro.workload import (
+    ClusteredRangeGenerator,
+    CombinationDistribution,
+    CombinationGenerator,
+    RangeQuery,
+    UniformRangeGenerator,
+    Workload,
+    WorkloadBuilder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllInOne",
+    "BenchmarkSuite",
+    "Box",
+    "BruteForceScan",
+    "ClusteredRangeGenerator",
+    "CombinationDistribution",
+    "CombinationGenerator",
+    "Dataset",
+    "DatasetCatalog",
+    "Disk",
+    "DiskModel",
+    "FLATIndex",
+    "GridIndex",
+    "NeuroscienceDatasetGenerator",
+    "OdysseyConfig",
+    "OneForEach",
+    "RangeQuery",
+    "STRRTree",
+    "SpaceOdyssey",
+    "SpatialObject",
+    "UniformRangeGenerator",
+    "Workload",
+    "WorkloadBuilder",
+    "build_benchmark_suite",
+    "__version__",
+]

@@ -1,0 +1,394 @@
+"""FLAT: the state-of-the-art baseline (Tauheed et al., ICDE '12).
+
+FLAT ("Accelerating Range Queries For Brain Simulations") targets exactly
+the paper's workload: range queries over dense neuroscience data where deep
+R-tree traversals cost too many random I/Os.  Its two defining ideas are
+
+1. the space is fully decomposed into non-overlapping *regions*, one per
+   STR-packed leaf page, with precomputed *neighbourhood links* between
+   touching regions; and
+2. a query first locates a single *seed* region through a small seed index
+   and then **crawls** the neighbourhood links, reading only leaf pages whose
+   region intersects the query.
+
+Building FLAT is the most expensive of all approaches (external STR sorts,
+a second pass to compute the neighbourhood graph, writing the adjacency and
+seed structures), but once built its queries touch the fewest pages — the
+exact trade-off the paper's Figure 4/5 rely on.
+
+Implementation notes
+--------------------
+* Regions are produced by a region-aware STR tiling
+  (:func:`tile_with_regions`): they partition the universe exactly, and each
+  object's *centre* lies in its leaf's region.  Correctness therefore uses
+  the same query-window-extension argument as the Grid and Space Odyssey:
+  crawling every region that intersects the query extended by the maximum
+  object extent visits every leaf that can contain a matching object.
+* Because regions tile the space, the set of regions intersecting any box is
+  face-connected, so a breadth-first crawl from the seed cannot miss any of
+  them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.baselines.interface import SingleCollectionIndex
+from repro.baselines.rtree import NodeEntry, node_entry_codec
+from repro.baselines.str_packing import charge_external_sort, group_consecutive
+from repro.data.dataset import Dataset
+from repro.data.spatial_object import SpatialObject, spatial_object_codec
+from repro.geometry.box import Box
+from repro.storage.codec import FixedRecordCodec, records_per_page
+from repro.storage.disk import Disk
+from repro.storage.pagedfile import PagedFile
+
+
+# --------------------------------------------------------------------------- #
+# Region-aware STR tiling
+# --------------------------------------------------------------------------- #
+
+
+def tile_with_regions(
+    objects: Sequence[SpatialObject],
+    leaf_capacity: int,
+    universe: Box,
+) -> list[tuple[list[SpatialObject], Box]]:
+    """STR-tile ``objects`` and compute a covering region per leaf.
+
+    The regions partition ``universe`` exactly (no gaps, no overlaps except
+    shared faces) and every object's centre lies inside its leaf's region.
+    Splits are placed halfway between the bordering objects' centres.
+    """
+    if leaf_capacity < 1:
+        raise ValueError("leaf_capacity must be >= 1")
+    objects = list(objects)
+    if not objects:
+        return [([], universe)]
+    dimension = universe.dimension
+
+    def tile(chunk: list[SpatialObject], axis: int, region: Box) -> Iterator[tuple[list[SpatialObject], Box]]:
+        remaining_dims = dimension - axis
+        if len(chunk) <= leaf_capacity or remaining_dims == 0:
+            yield chunk, region
+            return
+        chunk.sort(key=lambda obj: obj.center[axis])
+        n_leaves = -(-len(chunk) // leaf_capacity)
+        if axis == dimension - 1:
+            slabs = n_leaves
+        else:
+            slabs = max(1, round(n_leaves ** (1.0 / remaining_dims)))
+        slab_size = -(-len(chunk) // slabs)
+        pieces: list[list[SpatialObject]] = [
+            chunk[start : start + slab_size] for start in range(0, len(chunk), slab_size)
+        ]
+        pieces = [piece for piece in pieces if piece]
+        # Region boundaries along this axis: midpoints between the last
+        # centre of one slab and the first centre of the next.
+        cuts: list[float] = [region.lo[axis]]
+        for left, right in zip(pieces, pieces[1:]):
+            boundary = (left[-1].center[axis] + right[0].center[axis]) / 2.0
+            boundary = min(max(boundary, region.lo[axis]), region.hi[axis])
+            boundary = max(boundary, cuts[-1])
+            cuts.append(boundary)
+        cuts.append(region.hi[axis])
+        for index, piece in enumerate(pieces):
+            lo = list(region.lo)
+            hi = list(region.hi)
+            lo[axis] = cuts[index]
+            hi[axis] = cuts[index + 1]
+            sub_region = Box(tuple(lo), tuple(hi))
+            if axis == dimension - 1:
+                yield piece, sub_region
+            else:
+                yield from tile(piece, axis + 1, sub_region)
+
+    return list(tile(objects, 0, universe))
+
+
+# --------------------------------------------------------------------------- #
+# Adjacency records
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class AdjacencyRecord:
+    """One directed neighbourhood link between two leaf regions."""
+
+    leaf: int
+    neighbor: int
+
+
+def adjacency_codec() -> FixedRecordCodec[AdjacencyRecord]:
+    """Codec for neighbourhood links (16 bytes per link)."""
+    return FixedRecordCodec(
+        "<qq",
+        lambda rec: (rec.leaf, rec.neighbor),
+        lambda fields: AdjacencyRecord(leaf=fields[0], neighbor=fields[1]),
+    )
+
+
+def compute_region_adjacency(regions: Sequence[Box], bins_per_dim: int = 16) -> dict[int, set[int]]:
+    """Neighbour sets of touching regions, computed with coarse-grid binning.
+
+    Two regions are neighbours when their closed boxes intersect (they share
+    at least a face, edge or corner).  Binning keeps the pair comparisons
+    local instead of quadratic in the number of leaves.
+    """
+    if not regions:
+        return {}
+    universe = Box.bounding(regions)
+    buckets: dict[int, list[int]] = {}
+    for index, region in enumerate(regions):
+        for cell in universe.grid_cells_overlapping(region, bins_per_dim):
+            buckets.setdefault(cell, []).append(index)
+    adjacency: dict[int, set[int]] = {index: set() for index in range(len(regions))}
+    for members in buckets.values():
+        for position, left in enumerate(members):
+            for right in members[position + 1 :]:
+                if left == right or right in adjacency[left]:
+                    continue
+                if regions[left].intersects(regions[right]):
+                    adjacency[left].add(right)
+                    adjacency[right].add(left)
+    return adjacency
+
+
+# --------------------------------------------------------------------------- #
+# The index
+# --------------------------------------------------------------------------- #
+
+
+class FLATIndex(SingleCollectionIndex):
+    """FLAT: STR-packed leaves + region neighbourhood links + a seed index.
+
+    Parameters
+    ----------
+    disk, name, universe:
+        As for the other indexes.
+    build_memory_pages:
+        Memory budget for the external sorts during the bulk load.
+    """
+
+    def __init__(
+        self,
+        disk: Disk,
+        name: str,
+        universe: Box,
+        build_memory_pages: int = 1024,
+    ) -> None:
+        self._disk = disk
+        self._universe = universe
+        self._dimension = universe.dimension
+        self._build_memory_pages = build_memory_pages
+        obj_codec = spatial_object_codec(self._dimension)
+        self._leaf_file: PagedFile[SpatialObject] = PagedFile(
+            disk, f"flat/{name}.leaves", obj_codec
+        )
+        self._adj_file: PagedFile[AdjacencyRecord] = PagedFile(
+            disk, f"flat/{name}.adjacency", adjacency_codec()
+        )
+        self._seed_file: PagedFile[NodeEntry] = PagedFile(
+            disk, f"flat/{name}.seeds", node_entry_codec(self._dimension)
+        )
+        self._leaf_capacity = records_per_page(obj_codec.record_size, disk.page_size)
+        self._fanout = records_per_page(
+            node_entry_codec(self._dimension).record_size, disk.page_size
+        )
+        self._regions: list[Box] = []
+        self._leaf_pages: list[int] = []
+        self._adjacency: dict[int, set[int]] = {}
+        self._max_extent: tuple[float, ...] = (0.0,) * self._dimension
+        self._root_page: int | None = None
+        self._root_is_leaf_level = False
+        self._n_objects = 0
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_built(self) -> bool:
+        """Whether the index has been built."""
+        return self._built
+
+    @property
+    def n_objects(self) -> int:
+        """Number of indexed objects."""
+        return self._n_objects
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf pages / regions."""
+        return len(self._leaf_pages)
+
+    @property
+    def max_extent(self) -> tuple[float, ...]:
+        """Maximum object extent per dimension."""
+        return self._max_extent
+
+    @property
+    def regions(self) -> list[Box]:
+        """The space-covering regions (one per leaf), in leaf order."""
+        return list(self._regions)
+
+    @property
+    def adjacency(self) -> dict[int, set[int]]:
+        """Neighbourhood links between regions (leaf index -> neighbour set)."""
+        return {leaf: set(neighbors) for leaf, neighbors in self._adjacency.items()}
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+
+    def build(self, datasets: Sequence[Dataset]) -> None:
+        """Bulk load FLAT: pack leaves, compute neighbourhoods, build seeds."""
+        if self._built:
+            raise RuntimeError("FLAT is already built")
+        objects: list[SpatialObject] = []
+        raw_pages = 0
+        for dataset in datasets:
+            objects.extend(dataset.scan())
+            raw_pages += dataset.size_pages()
+        self._n_objects = len(objects)
+        max_extent = [0.0] * self._dimension
+        for obj in objects:
+            for axis, extent in enumerate(obj.box.extents):
+                if extent > max_extent[axis]:
+                    max_extent[axis] = extent
+        self._max_extent = tuple(max_extent)
+        # Phase 1: external STR sort + leaf packing (same cost as the R-tree).
+        charge_external_sort(
+            self._disk,
+            data_pages=raw_pages,
+            memory_pages=self._build_memory_pages,
+            n_phases=self._dimension,
+            records=len(objects),
+        )
+        tiles = tile_with_regions(objects, self._leaf_capacity, self._universe)
+        self._regions = [region for _, region in tiles]
+        for leaf_objects, _ in tiles:
+            run = self._leaf_file.append_group(leaf_objects)
+            if run.extents:
+                self._leaf_pages.append(run.extents[0].start)
+            else:
+                # Empty leaf (only possible for an empty collection): mark it
+                # with a sentinel so region/page lists stay aligned without
+                # ever reading a non-existent page.
+                self._leaf_pages.append(-1)
+        # Phase 2: neighbourhood computation.  FLAT re-reads the packed
+        # leaves to derive the region graph and writes the adjacency pages.
+        for page in self._leaf_pages:
+            if page >= 0:
+                self._leaf_file.read_page_records(page)
+        self._adjacency = compute_region_adjacency(self._regions)
+        links = [
+            AdjacencyRecord(leaf=leaf, neighbor=neighbor)
+            for leaf, neighbors in self._adjacency.items()
+            for neighbor in sorted(neighbors)
+        ]
+        pair_checks = sum(len(n) for n in self._adjacency.values()) + len(self._regions)
+        self._disk.charge_cpu_records(pair_checks * 4)
+        if links:
+            self._adj_file.append_group(links)
+        # Phase 3: the seed index — a small STR-style tree over the regions.
+        entries = [
+            NodeEntry(child_page=page, child_is_leaf=True, box=region)
+            for page, region in zip(self._leaf_pages, self._regions)
+        ]
+        if not entries:
+            self._root_page = None
+            self._built = True
+            return
+        while len(entries) > 1:
+            next_entries: list[NodeEntry] = []
+            for group in group_consecutive(entries, self._fanout):
+                run = self._seed_file.append_group(group)
+                page = run.extents[0].start
+                next_entries.append(
+                    NodeEntry(
+                        child_page=page,
+                        child_is_leaf=False,
+                        box=Box.bounding([entry.box for entry in group]),
+                    )
+                )
+            entries = next_entries
+        root = entries[0]
+        self._root_page = root.child_page
+        self._root_is_leaf_level = root.child_is_leaf
+        self._built = True
+
+    # ------------------------------------------------------------------ #
+    # Query
+    # ------------------------------------------------------------------ #
+
+    def query(self, box: Box) -> list[SpatialObject]:
+        """Seed-and-crawl range search."""
+        if not self._built:
+            raise RuntimeError("FLAT must be built before querying")
+        if self._root_page is None or not self._regions:
+            return []
+        extended = box.expand(self._max_extent).clamp(self._universe)
+        seed = self._find_seed(extended)
+        if seed is None:
+            return []
+        results: list[SpatialObject] = []
+        examined = 0
+        visited: set[int] = set()
+        frontier: deque[int] = deque([seed])
+        visited.add(seed)
+        while frontier:
+            leaf = frontier.popleft()
+            leaf_page = self._leaf_pages[leaf]
+            leaf_objects = (
+                self._leaf_file.read_page_records(leaf_page) if leaf_page >= 0 else []
+            )
+            for obj in leaf_objects:
+                examined += 1
+                if obj.intersects(box):
+                    results.append(obj)
+            for neighbor in self._adjacency.get(leaf, ()):  # crawl the links
+                if neighbor in visited:
+                    continue
+                examined += 1
+                if self._regions[neighbor].intersects(extended):
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        self._disk.charge_cpu_records(examined)
+        return results
+
+    def _find_seed(self, extended: Box) -> int | None:
+        """Locate one region intersecting the extended query via the seed tree."""
+        if self._root_is_leaf_level:
+            # A single leaf: the root entry points directly at it.
+            return 0 if self._regions[0].intersects(extended) else None
+        page_to_leaf = {page: index for index, page in enumerate(self._leaf_pages)}
+        stack: list[int] = [self._root_page]
+        while stack:
+            page = stack.pop()
+            for entry in self._seed_file.read_page_records(page):
+                if not entry.box.intersects(extended):
+                    continue
+                if entry.child_is_leaf:
+                    return page_to_leaf[entry.child_page]
+                stack.append(entry.child_page)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def drop(self) -> None:
+        """Delete all on-disk structures."""
+        self._leaf_file.delete()
+        self._adj_file.delete()
+        self._seed_file.delete()
+        self._regions = []
+        self._leaf_pages = []
+        self._adjacency = {}
+        self._root_page = None
+        self._built = False
+        self._n_objects = 0

@@ -1,0 +1,101 @@
+"""Index interfaces shared by every approach in the evaluation.
+
+Two levels of abstraction are used:
+
+* :class:`SingleCollectionIndex` — a spatial index over one *collection* of
+  objects (one dataset, or — for the all-in-one strategy — the union of
+  several datasets).  It is built once from raw files and then answers
+  plain range queries.
+* :class:`MultiDatasetIndex` — the approach-level interface the benchmark
+  harness talks to.  It answers the paper's queries
+  ``Q = {A; DS_1, ..., DS_N}``: a range ``A`` evaluated over a requested
+  subset of datasets.  Space Odyssey, the 1fE/Ain1 strategy wrappers and
+  the brute-force oracle all implement it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.data.dataset import Dataset, DatasetCatalog
+from repro.data.spatial_object import SpatialObject
+from repro.geometry.box import Box
+
+
+class SingleCollectionIndex(ABC):
+    """A static spatial index over one collection of objects."""
+
+    @abstractmethod
+    def build(self, datasets: Sequence[Dataset]) -> None:
+        """Read the raw files of ``datasets`` and build the index on disk."""
+
+    @abstractmethod
+    def query(self, box: Box) -> list[SpatialObject]:
+        """Return every indexed object whose MBR intersects ``box``."""
+
+    @property
+    @abstractmethod
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+
+    def drop(self) -> None:
+        """Remove any on-disk structures the index created (optional)."""
+
+
+class MultiDatasetIndex(ABC):
+    """An approach that answers range queries over subsets of datasets."""
+
+    #: Human-readable approach name used in reports (e.g. ``"FLAT-Ain1"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def build(self) -> None:
+        """Perform all up-front work (may be a no-op for adaptive approaches)."""
+
+    @abstractmethod
+    def query(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
+        """Objects from the requested datasets whose MBRs intersect ``box``."""
+
+    @property
+    @abstractmethod
+    def is_built(self) -> bool:
+        """Whether the up-front build (if any) has completed."""
+
+
+class BruteForceScan(MultiDatasetIndex):
+    """The correctness oracle: scan the raw file of every queried dataset.
+
+    It builds nothing and pays a full sequential scan of each requested
+    dataset per query.  Tests compare every other approach against it.
+    """
+
+    name = "BruteForce"
+
+    def __init__(self, catalog: DatasetCatalog) -> None:
+        self._catalog = catalog
+
+    def build(self) -> None:
+        """Nothing to build."""
+
+    @property
+    def is_built(self) -> bool:
+        """Always true: there is no build phase."""
+        return True
+
+    def query(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
+        """Scan each requested dataset and keep intersecting objects."""
+        results: list[SpatialObject] = []
+        for dataset_id in dataset_ids:
+            dataset = self._catalog.get(dataset_id)
+            results.extend(dataset.range_query_scan(box))
+        return results
+
+
+def result_keys(objects: Iterable[SpatialObject]) -> set[tuple[int, int]]:
+    """The set of ``(dataset_id, oid)`` identities of a query answer.
+
+    Query answers are sets of objects; different approaches return them in
+    different orders and this helper makes answers comparable.
+    """
+    return {obj.key() for obj in objects}

@@ -1,0 +1,227 @@
+"""Bulk-loaded R-tree (STR packing).
+
+The paper's ``RTree`` baseline is a bulk-loaded R-tree built with the
+Sort-Tile-Recursive algorithm (it uses libspatialindex; this is a
+from-scratch reimplementation on the simulated disk).  Leaves hold object
+records, internal nodes hold ``(child page, child MBR)`` entries; every node
+occupies exactly one page, so a range query costs one random page read per
+node visited.
+
+Build cost = one sequential scan of the raw data + the external-sort passes
+STR needs (one sort phase per dimension, charged through
+:func:`repro.baselines.str_packing.charge_external_sort`) + sequential
+writes of the leaf and node pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.interface import SingleCollectionIndex
+from repro.baselines.str_packing import charge_external_sort, group_consecutive, str_sort_tile
+from repro.data.dataset import Dataset
+from repro.data.spatial_object import SpatialObject, spatial_object_codec
+from repro.geometry.box import Box
+from repro.storage.codec import FixedRecordCodec, records_per_page
+from repro.storage.disk import Disk
+from repro.storage.pagedfile import PagedFile
+
+
+@dataclass(frozen=True, slots=True)
+class NodeEntry:
+    """One entry of an internal node: a child page reference and its MBR."""
+
+    child_page: int
+    child_is_leaf: bool
+    box: Box
+
+
+def node_entry_codec(dimension: int) -> FixedRecordCodec[NodeEntry]:
+    """Fixed-size codec for internal-node entries (64 bytes in 3-D)."""
+    fmt = "<qq" + "d" * (2 * dimension)
+
+    def to_fields(entry: NodeEntry) -> tuple:
+        return (entry.child_page, 1 if entry.child_is_leaf else 0, *entry.box.lo, *entry.box.hi)
+
+    def from_fields(fields: tuple) -> NodeEntry:
+        child_page, is_leaf = fields[0], bool(fields[1])
+        coords = fields[2:]
+        lo = tuple(coords[:dimension])
+        hi = tuple(coords[dimension:])
+        return NodeEntry(child_page=child_page, child_is_leaf=is_leaf, box=Box(lo, hi))
+
+    return FixedRecordCodec(fmt, to_fields, from_fields)
+
+
+class STRRTree(SingleCollectionIndex):
+    """A paged, bulk-loaded R-tree.
+
+    Parameters
+    ----------
+    disk:
+        Simulated disk for the leaf and node files.
+    name:
+        Unique index name (used to derive file names).
+    universe:
+        Indexed space (only its dimensionality is needed; kept for
+        symmetry with the other indexes).
+    build_memory_pages:
+        Memory budget, in pages, available to the external sorts during the
+        bulk load; smaller budgets mean more sort passes and a slower build.
+    """
+
+    def __init__(
+        self,
+        disk: Disk,
+        name: str,
+        universe: Box,
+        build_memory_pages: int = 1024,
+    ) -> None:
+        self._disk = disk
+        self._universe = universe
+        self._dimension = universe.dimension
+        self._build_memory_pages = build_memory_pages
+        obj_codec = spatial_object_codec(self._dimension)
+        self._leaf_file: PagedFile[SpatialObject] = PagedFile(
+            disk, f"rtree/{name}.leaves", obj_codec
+        )
+        self._node_file: PagedFile[NodeEntry] = PagedFile(
+            disk, f"rtree/{name}.nodes", node_entry_codec(self._dimension)
+        )
+        self._leaf_capacity = records_per_page(obj_codec.record_size, disk.page_size)
+        self._fanout = records_per_page(
+            node_entry_codec(self._dimension).record_size, disk.page_size
+        )
+        self._root_page: int | None = None
+        self._root_is_leaf = False
+        self._height = 0
+        self._n_objects = 0
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_built(self) -> bool:
+        """Whether the tree has been bulk loaded."""
+        return self._built
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = a single leaf)."""
+        return self._height
+
+    @property
+    def n_objects(self) -> int:
+        """Number of indexed objects."""
+        return self._n_objects
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Objects per leaf page."""
+        return self._leaf_capacity
+
+    @property
+    def fanout(self) -> int:
+        """Entries per internal node page."""
+        return self._fanout
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+
+    def build(self, datasets: Sequence[Dataset]) -> None:
+        """Bulk load the tree from the raw files of ``datasets``."""
+        if self._built:
+            raise RuntimeError("R-tree is already built")
+        objects: list[SpatialObject] = []
+        raw_pages = 0
+        for dataset in datasets:
+            objects.extend(dataset.scan())
+            raw_pages += dataset.size_pages()
+        self._n_objects = len(objects)
+        charge_external_sort(
+            self._disk,
+            data_pages=raw_pages,
+            memory_pages=self._build_memory_pages,
+            n_phases=self._dimension,
+            records=len(objects),
+        )
+        leaves = str_sort_tile(objects, self._leaf_capacity, self._dimension)
+        entries: list[NodeEntry] = []
+        for leaf in leaves:
+            run = self._leaf_file.append_group(leaf)
+            page = run.extents[0].start
+            entries.append(
+                NodeEntry(
+                    child_page=page,
+                    child_is_leaf=True,
+                    box=Box.bounding([obj.box for obj in leaf]),
+                )
+            )
+        self._height = 1
+        if not entries:
+            self._root_page = None
+            self._built = True
+            return
+        while len(entries) > 1:
+            next_entries: list[NodeEntry] = []
+            for group in group_consecutive(entries, self._fanout):
+                run = self._node_file.append_group(group)
+                page = run.extents[0].start
+                next_entries.append(
+                    NodeEntry(
+                        child_page=page,
+                        child_is_leaf=False,
+                        box=Box.bounding([entry.box for entry in group]),
+                    )
+                )
+            entries = next_entries
+            self._height += 1
+        root = entries[0]
+        self._root_page = root.child_page
+        self._root_is_leaf = root.child_is_leaf
+        self._built = True
+
+    # ------------------------------------------------------------------ #
+    # Query
+    # ------------------------------------------------------------------ #
+
+    def query(self, box: Box) -> list[SpatialObject]:
+        """Standard R-tree range search: descend every intersecting subtree."""
+        if not self._built:
+            raise RuntimeError("R-tree must be built before querying")
+        if self._root_page is None:
+            return []
+        results: list[SpatialObject] = []
+        examined = 0
+        stack: list[tuple[int, bool]] = [(self._root_page, self._root_is_leaf)]
+        while stack:
+            page, is_leaf = stack.pop()
+            if is_leaf:
+                for obj in self._leaf_file.read_page_records(page):
+                    examined += 1
+                    if obj.intersects(box):
+                        results.append(obj)
+            else:
+                for entry in self._node_file.read_page_records(page):
+                    examined += 1
+                    if entry.box.intersects(box):
+                        stack.append((entry.child_page, entry.child_is_leaf))
+        self._disk.charge_cpu_records(examined)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def drop(self) -> None:
+        """Delete the leaf and node files."""
+        self._leaf_file.delete()
+        self._node_file.delete()
+        self._root_page = None
+        self._built = False
+        self._n_objects = 0
+        self._height = 0

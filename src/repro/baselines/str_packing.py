@@ -1,0 +1,137 @@
+"""Sort-Tile-Recursive (STR) packing and external-sort cost accounting.
+
+STR (Leutenegger, Lopez et al., ICDE '97) bulk-loads an R-tree by recursively
+sorting the objects along each dimension and tiling them into equal-size
+slabs, producing leaves that are nearly square and nearly full.  Both the
+R-tree and FLAT baselines use this packing.
+
+The sort itself runs in memory here (the simulation holds the objects), but
+at the paper's scale it would be an *external* multi-pass sort, which is a
+large part of why FLAT and the R-tree are so much slower to build than the
+simple Grid.  :func:`charge_external_sort` therefore charges the disk model
+for the sequential read/write passes an external merge sort of the given
+size would perform, keeping the build-time comparison honest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.data.spatial_object import SpatialObject
+from repro.storage.disk import Disk
+
+
+def str_sort_tile(
+    objects: Sequence[SpatialObject],
+    leaf_capacity: int,
+    dimension: int | None = None,
+) -> list[list[SpatialObject]]:
+    """Pack ``objects`` into STR leaves of at most ``leaf_capacity`` objects.
+
+    The classic recursive formulation: sort by the first dimension's centre,
+    cut into vertical slabs of equal leaf count, then recurse on the
+    remaining dimensions within each slab.  Returns the leaves in packing
+    order, which is spatially coherent — consecutive leaves are close to
+    each other, so grouping them bottom-up yields a well-shaped tree.
+    """
+    if leaf_capacity < 1:
+        raise ValueError("leaf_capacity must be >= 1")
+    objects = list(objects)
+    if not objects:
+        return []
+    if dimension is None:
+        dimension = objects[0].dimension
+
+    def tile(chunk: list[SpatialObject], axis: int) -> list[list[SpatialObject]]:
+        if len(chunk) <= leaf_capacity:
+            return [chunk]
+        chunk.sort(key=lambda obj: obj.center[axis])
+        if axis == dimension - 1:
+            return [
+                chunk[start : start + leaf_capacity]
+                for start in range(0, len(chunk), leaf_capacity)
+            ]
+        n_leaves = math.ceil(len(chunk) / leaf_capacity)
+        remaining_dims = dimension - axis
+        slabs = math.ceil(n_leaves ** (1.0 / remaining_dims))
+        slab_size = math.ceil(len(chunk) / slabs)
+        leaves: list[list[SpatialObject]] = []
+        for start in range(0, len(chunk), slab_size):
+            leaves.extend(tile(chunk[start : start + slab_size], axis + 1))
+        return leaves
+
+    return [leaf for leaf in tile(objects, 0) if leaf]
+
+
+def external_sort_passes(data_pages: int, memory_pages: int) -> int:
+    """Number of read+write passes an external merge sort needs.
+
+    One pass creates sorted runs of ``memory_pages`` pages; each subsequent
+    pass merges up to ``memory_pages - 1`` runs.  Data that fits in memory
+    needs a single (read-only) pass, which we count as one.
+    """
+    if data_pages <= 0:
+        return 0
+    if memory_pages < 3:
+        memory_pages = 3
+    if data_pages <= memory_pages:
+        return 1
+    runs = math.ceil(data_pages / memory_pages)
+    passes = 1
+    fan_in = memory_pages - 1
+    while runs > 1:
+        runs = math.ceil(runs / fan_in)
+        passes += 1
+    return passes
+
+
+def charge_external_sort(
+    disk: Disk,
+    data_pages: int,
+    memory_pages: int,
+    n_phases: int = 1,
+    records: int = 0,
+) -> None:
+    """Charge the disk model for ``n_phases`` external sorts of the data.
+
+    Each pass reads and writes the whole dataset sequentially.  STR performs
+    one sort phase per dimension (the recursive slab sorts touch the whole
+    data once per level), so the R-tree build calls this with
+    ``n_phases = dimension``.  ``records`` adds the comparison CPU cost.
+    """
+    if data_pages <= 0:
+        return
+    passes = external_sort_passes(data_pages, memory_pages)
+    from repro.storage.cost_model import AccessKind  # local import to avoid cycle at module load
+
+    for _ in range(n_phases * passes):
+        read_seconds = disk.model.access_time_s(AccessKind.RANDOM, data_pages)
+        write_seconds = disk.model.access_time_s(AccessKind.RANDOM, data_pages)
+        disk.stats.record_read(AccessKind.RANDOM, data_pages, read_seconds)
+        disk.stats.record_write(AccessKind.RANDOM, data_pages, write_seconds)
+    if records:
+        comparisons = int(records * max(1.0, math.log2(max(records, 2))))
+        disk.charge_cpu_records(comparisons * n_phases)
+
+
+def leaf_mbr(objects: Sequence[SpatialObject]):
+    """Minimum bounding box of a leaf's objects."""
+    from repro.geometry.box import Box
+
+    return Box.bounding([obj.box for obj in objects])
+
+
+def group_consecutive(items: Sequence, group_size: int) -> list[list]:
+    """Group a sequence into consecutive chunks of at most ``group_size``.
+
+    Because STR leaves are produced in spatially coherent order, grouping
+    consecutive entries is how the upper levels of the bulk-loaded tree are
+    formed.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    return [list(items[start : start + group_size]) for start in range(0, len(items), group_size)]
+
+
+SortKey = Callable[[SpatialObject], float]

@@ -1,0 +1,142 @@
+"""Command-line interface for regenerating the paper's figures.
+
+Examples
+--------
+Run the Figure 4 panel with Zipf-distributed dataset ids at the default
+(small) scale and print the table::
+
+    python -m repro.cli fig4 --ids-dist zipf
+
+Run the merging ablation (Figure 5c) at medium scale and save the raw data::
+
+    python -m repro.cli fig5c --scale medium --output results/fig5c.json
+
+Run everything the paper reports::
+
+    python -m repro.cli all --scale small --output-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import experiments, reporting
+from repro.bench.scales import SCALES
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="optional path of a JSON file to write the raw result to",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the evaluation of 'Space Odyssey' (ExploreDB/PODS 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig4 = sub.add_parser("fig4", help="Figure 4: total processing cost")
+    fig4.add_argument(
+        "--ids-dist",
+        default="zipf",
+        choices=["zipf", "heavy_hitter", "self_similar", "uniform"],
+        help="distribution of the queried dataset combinations",
+    )
+    fig4.add_argument(
+        "--ranges",
+        default="clustered",
+        choices=["clustered", "uniform"],
+        help="distribution of the query ranges",
+    )
+    fig4.add_argument(
+        "--datasets-queried",
+        default="1,3,5,7,9",
+        help="comma-separated numbers of datasets queried (x axis)",
+    )
+    _add_common(fig4)
+
+    fig5a = sub.add_parser("fig5a", help="Figure 5a: per-query times (clustered/self-similar)")
+    _add_common(fig5a)
+    fig5b = sub.add_parser("fig5b", help="Figure 5b: per-query times (uniform/uniform)")
+    _add_common(fig5b)
+    fig5c = sub.add_parser("fig5c", help="Figure 5c: effect of merging")
+    _add_common(fig5c)
+
+    everything = sub.add_parser("all", help="run every figure and write JSON results")
+    everything.add_argument("--scale", default="small", choices=sorted(SCALES))
+    everything.add_argument("--output-dir", default="results", help="directory for JSON results")
+    return parser
+
+
+def _maybe_save(result, output: str | None) -> None:
+    if output:
+        path = reporting.save_json(result, output)
+        print(f"\nraw result written to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-bench`` console script."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "fig4":
+        ks = tuple(int(part) for part in args.datasets_queried.split(",") if part.strip())
+        result = experiments.figure4(
+            ids_distribution=args.ids_dist,
+            ranges=args.ranges,
+            scale=args.scale,
+            datasets_queried=ks,
+        )
+        print(reporting.format_figure4_table(result))
+        _maybe_save(result, args.output)
+    elif args.command == "fig5a":
+        result = experiments.figure5a(scale=args.scale)
+        print(reporting.format_figure5_summary(result))
+        _maybe_save(result, args.output)
+    elif args.command == "fig5b":
+        result = experiments.figure5b(scale=args.scale)
+        print(reporting.format_figure5_summary(result))
+        _maybe_save(result, args.output)
+    elif args.command == "fig5c":
+        result = experiments.figure5c(scale=args.scale)
+        print(reporting.format_figure5c_summary(result))
+        _maybe_save(result, args.output)
+    elif args.command == "all":
+        output_dir = Path(args.output_dir)
+        panels = {
+            "fig4a": lambda: experiments.figure4("zipf", "clustered", args.scale),
+            "fig4b": lambda: experiments.figure4("heavy_hitter", "clustered", args.scale),
+            "fig4c": lambda: experiments.figure4("self_similar", "clustered", args.scale),
+            "fig4d": lambda: experiments.figure4("uniform", "uniform", args.scale),
+            "fig5a": lambda: experiments.figure5a(args.scale),
+            "fig5b": lambda: experiments.figure5b(args.scale),
+            "fig5c": lambda: experiments.figure5c(args.scale),
+        }
+        for name, runner in panels.items():
+            print(f"=== {name} ===")
+            result = runner()
+            if name.startswith("fig4"):
+                print(reporting.format_figure4_table(result))
+            elif name == "fig5c":
+                print(reporting.format_figure5c_summary(result))
+            else:
+                print(reporting.format_figure5_summary(result))
+            reporting.save_json(result, output_dir / f"{name}.json")
+            print()
+        print(f"raw results written to {output_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Space Odyssey: the paper's primary contribution.
+
+The package mirrors the architecture of Figure 1 in the paper:
+
+* the **Adaptor** (:mod:`repro.core.adaptor`) performs incremental,
+  space-oriented indexing — it creates the first level of partitions the
+  first time a dataset is queried and refines hot partitions in place as
+  queries keep arriving;
+* the **Statistics Collector** (:mod:`repro.core.statistics`) tracks which
+  combinations of datasets are queried together and which partitions those
+  queries retrieve;
+* the **Merger** (:mod:`repro.core.merger`) copies partitions that are
+  frequently retrieved together into append-only merge files whose layout
+  allows sequential retrieval, under an LRU-evicted space budget;
+* the **Query Processor** (:mod:`repro.core.query_processor`) orchestrates a
+  query: routing between merge files and individual partition files,
+  filtering, triggering refinement and merging;
+* :class:`~repro.core.odyssey.SpaceOdyssey` is the public facade tying the
+  components together.
+"""
+
+from repro.core.config import OdysseyConfig
+from repro.core.odyssey import SpaceOdyssey
+from repro.core.partition import PartitionNode, PartitionTree
+from repro.core.query_processor import QueryReport
+from repro.core.statistics import StatisticsCollector
+
+__all__ = [
+    "OdysseyConfig",
+    "PartitionNode",
+    "PartitionTree",
+    "QueryReport",
+    "SpaceOdyssey",
+    "StatisticsCollector",
+]

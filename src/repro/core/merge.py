@@ -1,0 +1,197 @@
+"""Merge files, the merge directory and query routing (Section 3.2).
+
+A *merge file* stores copies of partitions from several datasets that are
+frequently queried together.  For every partition region it contains one
+segment per member dataset, laid out sequentially, so a query for any subset
+of the merged datasets can read exactly the segments it needs with (mostly)
+sequential I/O and skip the rest.
+
+The *merge directory* records which combinations have merge files and which
+partitions each file contains; the query processor consults it through
+:func:`choose_route`, which implements the paper's four routing cases
+(exact merge file, superset, subset, none).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.partition import PartitionKey
+from repro.core.statistics import Combination
+from repro.storage.pagedfile import StoredRun
+
+
+def merge_file_name(combination: Combination) -> str:
+    """Conventional merge file name for a combination of datasets."""
+    ids = "_".join(str(dataset_id) for dataset_id in sorted(combination))
+    return f"merge/combo_{ids}.dat"
+
+
+@dataclass
+class MergeFileInfo:
+    """Directory entry describing one merge file.
+
+    ``entries`` maps a partition key to the per-dataset segment
+    (:class:`~repro.storage.pagedfile.StoredRun`) inside the merge file.
+    """
+
+    combination: Combination
+    file_name: str
+    entries: dict[PartitionKey, dict[int, StoredRun]] = field(default_factory=dict)
+    created_at: int = 0
+    last_used: int = 0
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of partition regions stored in the file."""
+        return len(self.entries)
+
+    @property
+    def total_pages(self) -> int:
+        """Total pages occupied by all segments of the file."""
+        return sum(
+            run.n_pages for per_dataset in self.entries.values() for run in per_dataset.values()
+        )
+
+    def has_segment(self, key: PartitionKey, dataset_id: int) -> bool:
+        """Whether the file stores the given dataset's copy of a partition."""
+        per_dataset = self.entries.get(key)
+        return per_dataset is not None and dataset_id in per_dataset
+
+    def segment(self, key: PartitionKey, dataset_id: int) -> StoredRun:
+        """The stored segment for one (partition, dataset) pair."""
+        return self.entries[key][dataset_id]
+
+    def add_segment(self, key: PartitionKey, dataset_id: int, run: StoredRun) -> None:
+        """Record a newly written segment."""
+        self.entries.setdefault(key, {})[dataset_id] = run
+
+
+class RouteKind(enum.Enum):
+    """The paper's four routing cases for a queried combination."""
+
+    EXACT = "exact"
+    SUPERSET = "superset"
+    SUBSET = "subset"
+    NONE = "none"
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingDecision:
+    """Which merge file (if any) a query should read from.
+
+    ``covered_datasets`` are the requested datasets the chosen merge file
+    can serve; the query processor reads all other datasets from their
+    individual partition files.
+    """
+
+    kind: RouteKind
+    merge_info: MergeFileInfo | None
+    covered_datasets: frozenset[int]
+
+    @classmethod
+    def none(cls) -> "RoutingDecision":
+        """The no-merge-file decision."""
+        return cls(kind=RouteKind.NONE, merge_info=None, covered_datasets=frozenset())
+
+
+class MergeDirectory:
+    """Registry of all existing merge files, keyed by combination."""
+
+    def __init__(self) -> None:
+        self._files: dict[Combination, MergeFileInfo] = {}
+
+    # -- registration ----------------------------------------------------- #
+
+    def register(self, info: MergeFileInfo) -> None:
+        """Add or replace the merge file of a combination."""
+        self._files[info.combination] = info
+
+    def remove(self, combination: Combination) -> MergeFileInfo:
+        """Forget a combination's merge file and return its entry."""
+        try:
+            return self._files.pop(combination)
+        except KeyError:
+            raise KeyError(f"no merge file for combination {sorted(combination)}") from None
+
+    # -- lookup ------------------------------------------------------------ #
+
+    def get(self, combination: Iterable[int]) -> MergeFileInfo | None:
+        """The merge file for exactly this combination, if any."""
+        return self._files.get(frozenset(combination))
+
+    def __contains__(self, combination: Iterable[int]) -> bool:
+        return frozenset(combination) in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def all_files(self) -> list[MergeFileInfo]:
+        """All registered merge files."""
+        return list(self._files.values())
+
+    def total_pages(self) -> int:
+        """Total pages occupied by every merge file (the space budget metric)."""
+        return sum(info.total_pages for info in self._files.values())
+
+    def lru_order(self) -> list[MergeFileInfo]:
+        """Merge files ordered from least to most recently used."""
+        return sorted(self._files.values(), key=lambda info: info.last_used)
+
+    # -- routing ----------------------------------------------------------- #
+
+    def find_superset(self, requested: Combination) -> MergeFileInfo | None:
+        """The smallest merge file whose combination is a strict superset."""
+        candidates = [
+            info
+            for combo, info in self._files.items()
+            if combo > requested  # strict superset
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda info: len(info.combination))
+
+    def find_best_subset(self, requested: Combination) -> MergeFileInfo | None:
+        """The merge file covering the most requested datasets (strict subset)."""
+        candidates = [
+            info
+            for combo, info in self._files.items()
+            if combo < requested  # strict subset
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda info: len(info.combination))
+
+
+def choose_route(directory: MergeDirectory, requested: Combination) -> RoutingDecision:
+    """Implement the paper's routing rules for a requested combination.
+
+    1. *Exact*: a merge file for exactly the requested combination.
+    2. *Superset*: a merge file containing more datasets than requested —
+       still preferable because each dataset's objects are stored
+       sequentially and non-requested segments can be skipped.
+    3. *Subset*: the merge file covering the most requested datasets is
+       used for those; the remaining datasets are read from their
+       individual partition files.
+    4. *None*: only individual files are used.
+    """
+    exact = directory.get(requested)
+    if exact is not None:
+        return RoutingDecision(
+            kind=RouteKind.EXACT, merge_info=exact, covered_datasets=requested
+        )
+    superset = directory.find_superset(requested)
+    if superset is not None:
+        return RoutingDecision(
+            kind=RouteKind.SUPERSET, merge_info=superset, covered_datasets=requested
+        )
+    subset = directory.find_best_subset(requested)
+    if subset is not None:
+        return RoutingDecision(
+            kind=RouteKind.SUBSET,
+            merge_info=subset,
+            covered_datasets=frozenset(subset.combination),
+        )
+    return RoutingDecision.none()

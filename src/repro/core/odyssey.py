@@ -1,0 +1,167 @@
+"""The public Space Odyssey facade.
+
+:class:`SpaceOdyssey` wires the Adaptor, Statistics Collector, Merger and
+Query Processor together over a dataset catalog and exposes the
+:class:`~repro.baselines.interface.MultiDatasetIndex` interface so the
+benchmark harness can treat it exactly like the static baselines (with an
+empty build phase — that is the point of the paper).
+
+Typical usage::
+
+    from repro import OdysseyConfig, SpaceOdyssey, build_benchmark_suite
+    from repro.geometry import Box
+
+    suite = build_benchmark_suite(n_datasets=10, objects_per_dataset=5000)
+    odyssey = SpaceOdyssey(suite.catalog)
+    hits = odyssey.query(Box.cube(center=(500, 500, 500), side=25.0), [0, 2, 5])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.baselines.interface import MultiDatasetIndex
+from repro.core.adaptor import Adaptor
+from repro.core.config import OdysseyConfig
+from repro.core.merge import MergeDirectory
+from repro.core.merger import Merger
+from repro.core.partition import PartitionTree
+from repro.core.query_processor import QueryProcessor, QueryReport
+from repro.core.statistics import StatisticsCollector
+from repro.data.dataset import DatasetCatalog
+from repro.data.spatial_object import SpatialObject
+from repro.geometry.box import Box
+from repro.storage.disk import Disk
+
+
+@dataclass(frozen=True, slots=True)
+class ExplorationSummary:
+    """A snapshot of the adaptive state after some queries have run."""
+
+    queries_executed: int
+    datasets_initialized: int
+    total_partitions: int
+    max_tree_depth: int
+    merge_files: int
+    merge_pages: int
+    merges_performed: int
+    merge_evictions: int
+
+
+class SpaceOdyssey(MultiDatasetIndex):
+    """Adaptive, in-situ exploration engine over multiple spatial datasets.
+
+    Parameters
+    ----------
+    catalog:
+        The datasets available for exploration (their raw files must
+        already exist on the catalog's disk).
+    config:
+        Engine parameters; defaults to the paper's configuration
+        (``rt = 4``, ``ppl = 64``, ``mt = 2``).
+    """
+
+    name = "Odyssey"
+
+    def __init__(self, catalog: DatasetCatalog, config: OdysseyConfig | None = None) -> None:
+        self._catalog = catalog
+        self._config = config or OdysseyConfig()
+        # Validate ppl against the data dimensionality eagerly so a bad
+        # configuration fails at construction, not on the first query.
+        self._config.splits_per_dimension(catalog.dimension)
+        self._disk: Disk = catalog.datasets()[0].disk
+        self._statistics = StatisticsCollector()
+        self._directory = MergeDirectory()
+        self._adaptor = Adaptor(self._config)
+        self._merger = Merger(
+            disk=self._disk,
+            config=self._config,
+            directory=self._directory,
+            statistics=self._statistics,
+            dimension=catalog.dimension,
+        )
+        self._processor = QueryProcessor(
+            catalog=catalog,
+            config=self._config,
+            adaptor=self._adaptor,
+            statistics=self._statistics,
+            directory=self._directory,
+            merger=self._merger,
+        )
+        if not self._config.enable_merging:
+            self.name = "Odyssey w/o merging"
+
+    # ------------------------------------------------------------------ #
+    # MultiDatasetIndex interface
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> None:
+        """No up-front work: Space Odyssey indexes while queries execute."""
+
+    @property
+    def is_built(self) -> bool:
+        """Always true — there is nothing to build in advance."""
+        return True
+
+    def query(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
+        """Execute a range query over the requested datasets."""
+        return self._processor.execute(box, dataset_ids)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def catalog(self) -> DatasetCatalog:
+        """The datasets available to this engine."""
+        return self._catalog
+
+    @property
+    def config(self) -> OdysseyConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def disk(self) -> Disk:
+        """The simulated disk all structures live on."""
+        return self._disk
+
+    @property
+    def statistics(self) -> StatisticsCollector:
+        """The statistics collector."""
+        return self._statistics
+
+    @property
+    def merge_directory(self) -> MergeDirectory:
+        """The merge directory."""
+        return self._directory
+
+    @property
+    def merger(self) -> Merger:
+        """The merger component."""
+        return self._merger
+
+    @property
+    def trees(self) -> dict[int, PartitionTree]:
+        """The per-dataset partition trees built so far."""
+        return self._processor.trees
+
+    @property
+    def last_report(self) -> QueryReport | None:
+        """Diagnostics of the most recently executed query."""
+        return self._processor.last_report
+
+    def summary(self) -> ExplorationSummary:
+        """A structural snapshot of the adaptive state."""
+        trees = self._processor.trees
+        return ExplorationSummary(
+            queries_executed=self._processor.queries_executed,
+            datasets_initialized=len(trees),
+            total_partitions=sum(tree.n_partitions for tree in trees.values()),
+            max_tree_depth=max((tree.depth for tree in trees.values()), default=0),
+            merge_files=len(self._directory),
+            merge_pages=self._directory.total_pages(),
+            merges_performed=self._merger.merges_performed,
+            merge_evictions=self._merger.evictions,
+        )

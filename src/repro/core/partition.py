@@ -1,0 +1,272 @@
+"""Incremental space-oriented partition trees.
+
+Each dataset queried through Space Odyssey gets a :class:`PartitionTree` — a
+generalized Octree whose nodes cover regular grid subdivisions of the
+universe.  Leaves own a group of object records in the dataset's partition
+file; internal nodes only route.  Trees start with a single unindexed state
+and are populated lazily: the Adaptor creates the first level when the
+dataset is first queried and refines leaves one level at a time afterwards.
+
+Partition identity
+------------------
+A partition is identified by its *key*: the tuple of child indices on the
+path from the root.  Because every dataset shares the same universe and the
+same per-level split factor, equal keys denote the *same spatial region* in
+every dataset — this is what lets the Merger recognise "the same partition"
+across datasets and merge only partitions at the same refinement level
+(equal key length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.data.dataset import Dataset
+from repro.data.spatial_object import SpatialObject, spatial_object_codec
+from repro.geometry.box import Box
+from repro.storage.pagedfile import PagedFile, StoredRun
+
+#: A partition's identity: child indices along the path from the root.
+PartitionKey = tuple[int, ...]
+
+
+def partition_file_name(dataset_name: str) -> str:
+    """Conventional name of a dataset's incremental partition file."""
+    return f"odyssey/{dataset_name}.partitions"
+
+
+@dataclass
+class PartitionNode:
+    """One node of a partition tree.
+
+    A node is either a *leaf* (it owns a stored group of objects, possibly
+    empty) or an *internal* node with exactly ``ppl`` children.
+    """
+
+    key: PartitionKey
+    box: Box
+    run: StoredRun | None = None
+    children: list["PartitionNode"] | None = None
+    hit_count: int = 0
+
+    @property
+    def level(self) -> int:
+        """Depth of the node (level 1 = the first, coarsest partitions)."""
+        return len(self.key)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node currently stores objects itself."""
+        return self.children is None
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects stored in the node (0 for internal nodes)."""
+        if self.run is None:
+            return 0
+        return self.run.n_records
+
+    def volume(self) -> float:
+        """Volume of the region the node covers."""
+        return self.box.volume()
+
+
+class PartitionTree:
+    """The incremental index of one dataset.
+
+    The tree does not decide *when* to refine — that is the Adaptor's job —
+    but owns all structural bookkeeping: node lookup, overlap search, object
+    assignment and the partition file.
+    """
+
+    def __init__(self, dataset: Dataset, splits_per_dim: int) -> None:
+        if splits_per_dim < 2:
+            raise ValueError("splits_per_dim must be >= 2")
+        self._dataset = dataset
+        self._splits = splits_per_dim
+        self._universe = dataset.universe
+        codec = spatial_object_codec(dataset.dimension)
+        self._file: PagedFile[SpatialObject] = PagedFile(
+            dataset.disk, partition_file_name(dataset.name), codec
+        )
+        self._root_children: list[PartitionNode] | None = None
+        self._nodes: dict[PartitionKey, PartitionNode] = {}
+        self._max_extent: tuple[float, ...] = (0.0,) * dataset.dimension
+        self._n_objects = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dataset(self) -> Dataset:
+        """The dataset this tree indexes."""
+        return self._dataset
+
+    @property
+    def universe(self) -> Box:
+        """The indexed space."""
+        return self._universe
+
+    @property
+    def splits_per_dim(self) -> int:
+        """Per-dimension split factor (``ppl ** (1/d)``)."""
+        return self._splits
+
+    @property
+    def partitions_per_level(self) -> int:
+        """Children per refined partition (``ppl``)."""
+        return self._splits**self._universe.dimension
+
+    @property
+    def file(self) -> PagedFile[SpatialObject]:
+        """The partition file the tree's leaves live in."""
+        return self._file
+
+    @property
+    def is_initialized(self) -> bool:
+        """Whether the first-level partitioning has been performed."""
+        return self._root_children is not None
+
+    @property
+    def max_extent(self) -> tuple[float, ...]:
+        """Maximum object extent per dimension (for query-window extension)."""
+        return self._max_extent
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects indexed by the tree."""
+        return self._n_objects
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of leaf partitions currently in the tree."""
+        return sum(1 for node in self._nodes.values() if node.is_leaf)
+
+    @property
+    def depth(self) -> int:
+        """Deepest leaf level (0 when uninitialised)."""
+        if not self._nodes:
+            return 0
+        return max(node.level for node in self._nodes.values() if node.is_leaf)
+
+    def node(self, key: PartitionKey) -> PartitionNode:
+        """Look up a node by key."""
+        try:
+            return self._nodes[key]
+        except KeyError:
+            raise KeyError(f"no partition with key {key!r}") from None
+
+    def has_leaf(self, key: PartitionKey) -> bool:
+        """Whether ``key`` names an existing *leaf* partition."""
+        node = self._nodes.get(key)
+        return node is not None and node.is_leaf
+
+    def leaves(self) -> Iterator[PartitionNode]:
+        """Iterate over all leaf partitions."""
+        return (node for node in self._nodes.values() if node.is_leaf)
+
+    # ------------------------------------------------------------------ #
+    # Structure building (called by the Adaptor)
+    # ------------------------------------------------------------------ #
+
+    def child_box(self, parent_box: Box, child_index: int) -> Box:
+        """The region of one child of a partition."""
+        return parent_box.split_grid(self._splits)[child_index]
+
+    def assign_to_children(
+        self, parent_box: Box, objects: list[SpatialObject]
+    ) -> list[list[SpatialObject]]:
+        """Distribute objects to the ``ppl`` children of a region by centre."""
+        groups: list[list[SpatialObject]] = [[] for _ in range(self.partitions_per_level)]
+        for obj in objects:
+            groups[parent_box.child_index(obj.center, self._splits)].append(obj)
+        return groups
+
+    def install_first_level(
+        self,
+        groups: list[list[SpatialObject]],
+        runs: list[StoredRun],
+        max_extent: tuple[float, ...],
+        n_objects: int,
+    ) -> None:
+        """Install the level-1 partitions produced by the initial raw scan."""
+        if self.is_initialized:
+            raise RuntimeError("partition tree is already initialised")
+        if len(groups) != self.partitions_per_level or len(runs) != self.partitions_per_level:
+            raise ValueError("expected one group and one run per first-level partition")
+        child_boxes = self._universe.split_grid(self._splits)
+        children: list[PartitionNode] = []
+        for index, (box, run) in enumerate(zip(child_boxes, runs)):
+            node = PartitionNode(key=(index,), box=box, run=run)
+            children.append(node)
+            self._nodes[node.key] = node
+        self._root_children = children
+        self._max_extent = max_extent
+        self._n_objects = n_objects
+
+    def replace_with_children(
+        self, parent: PartitionNode, runs: list[StoredRun]
+    ) -> list[PartitionNode]:
+        """Turn a leaf into an internal node whose children own ``runs``."""
+        if not parent.is_leaf:
+            raise ValueError(f"partition {parent.key!r} is not a leaf")
+        if len(runs) != self.partitions_per_level:
+            raise ValueError("expected one run per child partition")
+        child_boxes = parent.box.split_grid(self._splits)
+        children: list[PartitionNode] = []
+        for index, (box, run) in enumerate(zip(child_boxes, runs)):
+            node = PartitionNode(key=parent.key + (index,), box=box, run=run)
+            children.append(node)
+            self._nodes[node.key] = node
+        parent.children = children
+        parent.run = None
+        return children
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def leaves_overlapping(self, box: Box) -> list[PartitionNode]:
+        """All leaf partitions whose region intersects ``box``."""
+        if not self.is_initialized:
+            raise RuntimeError("partition tree has not been initialised yet")
+        results: list[PartitionNode] = []
+        stack: list[PartitionNode] = [
+            node for node in self._root_children or [] if node.box.intersects(box)
+        ]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                results.append(node)
+            else:
+                stack.extend(
+                    child for child in node.children or [] if child.box.intersects(box)
+                )
+        return results
+
+    def read_partition(self, node: PartitionNode) -> list[SpatialObject]:
+        """Read one leaf partition's objects from the partition file."""
+        if not node.is_leaf:
+            raise ValueError(f"partition {node.key!r} is not a leaf")
+        if node.run is None or node.run.n_records == 0:
+            return []
+        return self._file.read_group(node.run)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+
+    def total_stored_objects(self) -> int:
+        """Sum of objects over all leaves (should equal :attr:`n_objects`)."""
+        return sum(node.n_objects for node in self.leaves())
+
+    def describe(self) -> dict[str, int]:
+        """A small structural summary used in reports and tests."""
+        return {
+            "n_objects": self._n_objects,
+            "n_partitions": self.n_partitions,
+            "depth": self.depth,
+            "file_pages": self._file.num_pages(),
+        }

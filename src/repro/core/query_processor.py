@@ -1,0 +1,225 @@
+"""The Query Processor: per-query orchestration (Section 3.2.3).
+
+For every range query ``Q = {A; DS_1, ..., DS_N}`` the processor
+
+1. lazily initialises the partition tree of any requested dataset that has
+   never been queried before (one full raw scan — the expensive first query
+   the paper describes);
+2. extends the query window by each dataset's maximum object extent and
+   collects the leaf partitions it overlaps;
+3. consults the merge directory to decide whether the partitions can be
+   read from a merge file (exact / superset / subset / none);
+4. reads the partitions, filters the objects against the original query
+   range and the requested datasets;
+5. refines the hit partitions whose volume exceeds ``rt`` times the query
+   volume (the Adaptor's job);
+6. updates the statistics and gives the Merger the chance to create or
+   extend a merge file for the queried combination.
+
+A :class:`QueryReport` describing what happened is kept for the last query
+so that tests, examples and the benchmark harness can introspect behaviour
+without re-deriving it from disk counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.adaptor import Adaptor
+from repro.core.config import OdysseyConfig
+from repro.core.merge import MergeDirectory, RouteKind, choose_route
+from repro.core.merger import Merger
+from repro.core.partition import PartitionKey, PartitionNode, PartitionTree
+from repro.core.statistics import StatisticsCollector
+from repro.data.dataset import DatasetCatalog
+from repro.data.spatial_object import SpatialObject
+from repro.geometry.box import Box
+
+
+@dataclass
+class QueryReport:
+    """Diagnostics of one executed query."""
+
+    query_index: int
+    requested: tuple[int, ...]
+    route: str = RouteKind.NONE.value
+    initialized_datasets: list[int] = field(default_factory=list)
+    partitions_read: int = 0
+    partitions_from_merge: int = 0
+    objects_examined: int = 0
+    results: int = 0
+    refinements: int = 0
+    merged: bool = False
+    merge_new_partitions: int = 0
+    evicted_merge_files: int = 0
+
+    @property
+    def used_merge_file(self) -> bool:
+        """Whether any partition was served from a merge file."""
+        return self.partitions_from_merge > 0
+
+
+class QueryProcessor:
+    """Coordinates the Adaptor, Statistics Collector and Merger per query."""
+
+    def __init__(
+        self,
+        catalog: DatasetCatalog,
+        config: OdysseyConfig,
+        adaptor: Adaptor,
+        statistics: StatisticsCollector,
+        directory: MergeDirectory,
+        merger: Merger,
+    ) -> None:
+        self._catalog = catalog
+        self._config = config
+        self._adaptor = adaptor
+        self._statistics = statistics
+        self._directory = directory
+        self._merger = merger
+        self._trees: dict[int, PartitionTree] = {}
+        self._queries_executed = 0
+        self._last_report: QueryReport | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def trees(self) -> dict[int, PartitionTree]:
+        """The per-dataset partition trees created so far."""
+        return dict(self._trees)
+
+    @property
+    def queries_executed(self) -> int:
+        """Number of queries processed."""
+        return self._queries_executed
+
+    @property
+    def last_report(self) -> QueryReport | None:
+        """Diagnostics of the most recent query."""
+        return self._last_report
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
+        """Execute one range query over the requested datasets."""
+        requested = frozenset(dataset_ids)
+        if not requested:
+            raise ValueError("a query must request at least one dataset")
+        for dataset_id in requested:
+            self._catalog.get(dataset_id)  # validates the id
+        report = QueryReport(
+            query_index=self._queries_executed, requested=tuple(sorted(requested))
+        )
+        self._statistics.tick()
+
+        # 1. Lazy initialisation of partition trees (in-situ first touch).
+        for dataset_id in sorted(requested):
+            if dataset_id not in self._trees:
+                tree = self._adaptor.create_tree(self._catalog.get(dataset_id))
+                self._adaptor.initialize(tree)
+                self._trees[dataset_id] = tree
+                report.initialized_datasets.append(dataset_id)
+
+        # 2. Locate the leaf partitions each dataset must read.
+        needed: dict[int, list[PartitionNode]] = {}
+        for dataset_id in sorted(requested):
+            tree = self._trees[dataset_id]
+            extended = box.expand(tree.max_extent).clamp(tree.universe)
+            needed[dataset_id] = tree.leaves_overlapping(extended)
+
+        # 3. Routing: merge file vs individual partition files.
+        decision = choose_route(self._directory, requested)
+        report.route = decision.kind.value
+        if decision.merge_info is not None:
+            self._merger.mark_used(decision.merge_info.combination)
+
+        # 4. Retrieval and filtering.  Reads are planned first and then
+        # executed in on-disk order: merge-file segments in the order they
+        # appear in the merge file (so co-located partitions are streamed
+        # sequentially, which is the whole point of merging) and individual
+        # partitions in partition-file order per dataset.
+        results: list[SpatialObject] = []
+        examined = 0
+        accessed_keys: dict[int, set[PartitionKey]] = {}
+        merge_plan: list[tuple[int, PartitionNode]] = []
+        individual_plan: list[tuple[int, PartitionNode]] = []
+        info = decision.merge_info
+        for dataset_id in sorted(requested):
+            keys: set[PartitionKey] = set()
+            for leaf in needed[dataset_id]:
+                keys.add(leaf.key)
+                leaf.hit_count += 1
+                report.partitions_read += 1
+                use_merge = (
+                    info is not None
+                    and dataset_id in decision.covered_datasets
+                    and info.has_segment(leaf.key, dataset_id)
+                )
+                if use_merge:
+                    merge_plan.append((dataset_id, leaf))
+                else:
+                    individual_plan.append((dataset_id, leaf))
+            accessed_keys[dataset_id] = keys
+
+        def _filter(objects: list[SpatialObject], dataset_id: int) -> int:
+            count = 0
+            for obj in objects:
+                count += 1
+                if obj.dataset_id == dataset_id and obj.intersects(box):
+                    results.append(obj)
+            return count
+
+        if merge_plan and info is not None:
+            merge_file = self._merger.merge_file(info.combination)
+            merge_plan.sort(
+                key=lambda item: self._segment_start(info, item[1].key, item[0])
+            )
+            for dataset_id, leaf in merge_plan:
+                report.partitions_from_merge += 1
+                objects = merge_file.read_group(info.segment(leaf.key, dataset_id))
+                examined += _filter(objects, dataset_id)
+        individual_plan.sort(key=lambda item: (item[0], self._partition_start(item[1])))
+        for dataset_id, leaf in individual_plan:
+            objects = self._trees[dataset_id].read_partition(leaf)
+            examined += _filter(objects, dataset_id)
+        tree_disk = self._catalog.get(next(iter(requested))).disk
+        tree_disk.charge_cpu_records(examined)
+        report.objects_examined = examined
+        report.results = len(results)
+
+        # 5. Refinement of over-sized hit partitions.
+        for dataset_id in sorted(requested):
+            tree = self._trees[dataset_id]
+            for leaf in needed[dataset_id]:
+                outcome = self._adaptor.maybe_refine(tree, leaf, box)
+                if outcome.refined:
+                    report.refinements += 1
+
+        # 6. Statistics and merging.
+        self._statistics.record_query(requested, accessed_keys, query_volume=box.volume())
+        merge_outcome = self._merger.maybe_merge(requested, self._trees)
+        report.merged = merge_outcome.merged
+        report.merge_new_partitions = merge_outcome.new_partitions
+        report.evicted_merge_files = len(merge_outcome.evicted_combinations)
+
+        self._queries_executed += 1
+        self._last_report = report
+        return results
+
+    @staticmethod
+    def _segment_start(info, key: PartitionKey, dataset_id: int) -> int:
+        """First page of a merge-file segment (for on-disk-order planning)."""
+        run = info.segment(key, dataset_id)
+        return run.extents[0].start if run.extents else 0
+
+    @staticmethod
+    def _partition_start(leaf: PartitionNode) -> int:
+        """First page of a leaf partition (for on-disk-order planning)."""
+        if leaf.run is None or not leaf.run.extents:
+            return 0
+        return leaf.run.extents[0].start

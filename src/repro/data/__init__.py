@@ -1,0 +1,31 @@
+"""Datasets and synthetic scientific data generation.
+
+The paper evaluates on ten proprietary Human Brain Project datasets, each a
+collection of 3-D neuron surface meshes sharing the same brain volume.  This
+package provides the equivalent substrate: a :class:`~repro.data.dataset.Dataset`
+is a raw, unindexed paged file of spatial objects on the simulated disk, and
+:mod:`repro.data.generator` synthesises neuroscience-like data (clustered
+neurons with branching arbours) so that the evaluation workloads exercise
+the same skew and object-size characteristics.
+"""
+
+from repro.data.dataset import Dataset, DatasetCatalog
+from repro.data.generator import (
+    ClusteredBoxGenerator,
+    NeuroscienceDatasetGenerator,
+    UniformBoxGenerator,
+)
+from repro.data.spatial_object import SpatialObject, spatial_object_codec
+from repro.data.suite import BenchmarkSuite, build_benchmark_suite
+
+__all__ = [
+    "BenchmarkSuite",
+    "ClusteredBoxGenerator",
+    "Dataset",
+    "DatasetCatalog",
+    "NeuroscienceDatasetGenerator",
+    "SpatialObject",
+    "UniformBoxGenerator",
+    "build_benchmark_suite",
+    "spatial_object_codec",
+]

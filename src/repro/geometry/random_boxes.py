@@ -1,0 +1,83 @@
+"""Random sampling helpers for boxes and points.
+
+These are shared by the synthetic dataset generators (`repro.data.generator`)
+and the workload range generators (`repro.workload.ranges`).  All sampling is
+driven by a caller-supplied :class:`numpy.random.Generator` so that datasets
+and workloads are fully reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box
+
+
+def random_point_in_box(rng: np.random.Generator, box: Box) -> tuple[float, ...]:
+    """A point drawn uniformly at random from ``box``."""
+    coords = rng.uniform(low=box.lo, high=box.hi)
+    return tuple(float(c) for c in coords)
+
+
+def random_box_with_volume(
+    rng: np.random.Generator,
+    universe: Box,
+    volume_fraction: float,
+    *,
+    center: Sequence[float] | None = None,
+    aspect_jitter: float = 0.0,
+) -> Box:
+    """A box of (approximately) fixed volume placed inside ``universe``.
+
+    The box is a hyper-cube whose volume is ``volume_fraction`` of the
+    universe volume, optionally perturbed per dimension by
+    ``aspect_jitter`` (a relative factor drawn from ``U(1-j, 1+j)``).  This
+    mirrors the paper's query generator which uses a fixed query volume
+    (``qvol``) of 10^-4 % of the queried brain volume.
+
+    The resulting box is clamped so it never exceeds the universe.
+    """
+    if not 0.0 < volume_fraction <= 1.0:
+        raise ValueError("volume_fraction must be in (0, 1]")
+    dim = universe.dimension
+    target_volume = universe.volume() * volume_fraction
+    side = target_volume ** (1.0 / dim)
+    sides = np.full(dim, side)
+    if aspect_jitter > 0.0:
+        factors = rng.uniform(1.0 - aspect_jitter, 1.0 + aspect_jitter, size=dim)
+        # Renormalise so the volume stays (close to) the target.
+        factors /= np.prod(factors) ** (1.0 / dim)
+        sides = sides * factors
+    if center is None:
+        center = random_point_in_box(rng, universe)
+    box = Box.from_center(tuple(float(c) for c in center), tuple(float(s) for s in sides))
+    return box.clamp(universe)
+
+
+def sample_boxes(
+    rng: np.random.Generator,
+    universe: Box,
+    count: int,
+    *,
+    mean_extent_fraction: float = 0.001,
+    extent_jitter: float = 0.5,
+) -> list[Box]:
+    """Sample ``count`` small object boxes uniformly inside ``universe``.
+
+    Used by the uniform dataset generator and by the property-based tests.
+    Each box's side per dimension is ``mean_extent_fraction`` of the
+    universe side, jittered by ``extent_jitter`` relative spread.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    boxes: list[Box] = []
+    universe_extents = np.asarray(universe.extents)
+    for _ in range(count):
+        center = np.asarray(random_point_in_box(rng, universe))
+        spread = rng.uniform(1.0 - extent_jitter, 1.0 + extent_jitter, size=universe.dimension)
+        extents = universe_extents * mean_extent_fraction * spread
+        box = Box.from_center(tuple(center), tuple(float(e) for e in extents))
+        boxes.append(box.clamp(universe))
+    return boxes

@@ -1,0 +1,97 @@
+"""LRU buffer pool.
+
+The paper restricts every approach to the same main-memory footprint and
+explicitly drops OS caches before each query, so the buffer pool here serves
+two purposes: it models the bounded memory budget during index construction
+(e.g. the Grid baseline buffers cells in memory and flushes when full) and it
+gives the benchmark harness an explicit :meth:`BufferPool.clear` hook that
+mirrors the paper's cache-dropping methodology.
+
+The pool is write-through: pages written through the
+:class:`~repro.storage.disk.Disk` are immediately persisted to the backend,
+so eviction never loses data.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class BufferPool:
+    """A bounded, least-recently-used cache of page bytes.
+
+    Keys are ``(file_name, page_no)`` pairs.  A ``capacity_pages`` of zero
+    disables caching entirely (every read goes to the simulated disk).
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 0:
+            raise ValueError("capacity_pages must be non-negative")
+        self._capacity = capacity_pages
+        self._pages: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core operations -------------------------------------------------- #
+
+    def get(self, file_name: str, page_no: int) -> bytes | None:
+        """Return the cached page or ``None``; refreshes LRU position on hit."""
+        key = (file_name, page_no)
+        data = self._pages.get(key)
+        if data is None:
+            self._misses += 1
+            return None
+        self._pages.move_to_end(key)
+        self._hits += 1
+        return data
+
+    def put(self, file_name: str, page_no: int, data: bytes) -> None:
+        """Insert or refresh a page, evicting the least recently used if full."""
+        if self._capacity == 0:
+            return
+        key = (file_name, page_no)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+        self._pages[key] = data
+        while len(self._pages) > self._capacity:
+            self._pages.popitem(last=False)
+            self._evictions += 1
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop every cached page belonging to one file (used on delete)."""
+        stale = [key for key in self._pages if key[0] == file_name]
+        for key in stale:
+            del self._pages[key]
+
+    def clear(self) -> None:
+        """Drop every cached page (the paper's per-query cache clearing)."""
+        self._pages.clear()
+
+    # -- introspection ---------------------------------------------------- #
+
+    @property
+    def capacity_pages(self) -> int:
+        """Maximum number of pages the pool may hold."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return key in self._pages
+
+    @property
+    def hits(self) -> int:
+        """Number of successful lookups since construction."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of failed lookups since construction."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Number of pages evicted due to capacity pressure."""
+        return self._evictions

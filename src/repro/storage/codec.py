@@ -1,0 +1,121 @@
+"""Record codecs: fixed-size records packed into pages.
+
+All files in the reproduction (raw dataset files, index partitions, R-tree
+nodes, merge files) store fixed-size binary records.  A codec knows how to
+turn a record into bytes and back; :class:`~repro.storage.pagedfile.PagedFile`
+uses it to pack as many records as fit into each 4 KB page.
+
+Each page starts with a 4-byte little-endian record count so that partially
+filled pages decode unambiguously.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generic, Iterable, Protocol, Sequence, TypeVar
+
+RecordT = TypeVar("RecordT")
+
+#: Per-page header: number of records stored in the page (uint32, little endian).
+PAGE_HEADER = struct.Struct("<I")
+
+
+class RecordCodec(Protocol[RecordT]):
+    """Binary (de)serialisation of one record type with a fixed size."""
+
+    @property
+    def record_size(self) -> int:
+        """Size of one encoded record in bytes."""
+        ...
+
+    def pack(self, record: RecordT) -> bytes:
+        """Encode one record into exactly ``record_size`` bytes."""
+        ...
+
+    def unpack(self, data: bytes) -> RecordT:
+        """Decode one record from exactly ``record_size`` bytes."""
+        ...
+
+
+class FixedRecordCodec(Generic[RecordT]):
+    """A codec built from a :mod:`struct` format and field (un)binding functions.
+
+    Parameters
+    ----------
+    fmt:
+        ``struct`` format string (little-endian recommended).
+    to_fields:
+        Maps a record to the tuple of values packed by ``fmt``.
+    from_fields:
+        Maps an unpacked tuple back to a record.
+    """
+
+    def __init__(self, fmt: str, to_fields, from_fields) -> None:
+        self._struct = struct.Struct(fmt)
+        self._to_fields = to_fields
+        self._from_fields = from_fields
+
+    @property
+    def record_size(self) -> int:
+        """Size of one encoded record in bytes."""
+        return self._struct.size
+
+    def pack(self, record: RecordT) -> bytes:
+        """Encode one record."""
+        return self._struct.pack(*self._to_fields(record))
+
+    def unpack(self, data: bytes) -> RecordT:
+        """Decode one record."""
+        return self._from_fields(self._struct.unpack(data))
+
+
+def records_per_page(record_size: int, page_size: int) -> int:
+    """How many records of ``record_size`` bytes fit in one page."""
+    capacity = (page_size - PAGE_HEADER.size) // record_size
+    if capacity < 1:
+        raise ValueError(
+            f"a record of {record_size} bytes does not fit in a {page_size}-byte page"
+        )
+    return capacity
+
+
+def encode_page(
+    codec: RecordCodec[RecordT], records: Sequence[RecordT], page_size: int
+) -> bytes:
+    """Pack up to one page worth of records into page bytes."""
+    capacity = records_per_page(codec.record_size, page_size)
+    if len(records) > capacity:
+        raise ValueError(f"{len(records)} records exceed page capacity {capacity}")
+    payload = bytearray(PAGE_HEADER.pack(len(records)))
+    for record in records:
+        payload.extend(codec.pack(record))
+    return bytes(payload)
+
+
+def decode_page(codec: RecordCodec[RecordT], data: bytes) -> list[RecordT]:
+    """Unpack all records stored in one page."""
+    (count,) = PAGE_HEADER.unpack_from(data, 0)
+    size = codec.record_size
+    records: list[RecordT] = []
+    offset = PAGE_HEADER.size
+    for _ in range(count):
+        records.append(codec.unpack(data[offset : offset + size]))
+        offset += size
+    return records
+
+
+def paginate(
+    codec: RecordCodec[RecordT], records: Iterable[RecordT], page_size: int
+) -> list[bytes]:
+    """Split a record stream into encoded pages (all full except possibly the last)."""
+    capacity = records_per_page(codec.record_size, page_size)
+    pages: list[bytes] = []
+    batch: list[RecordT] = []
+    for record in records:
+        batch.append(record)
+        if len(batch) == capacity:
+            pages.append(encode_page(codec, batch, page_size))
+            batch = []
+    if batch:
+        pages.append(encode_page(codec, batch, page_size))
+    return pages

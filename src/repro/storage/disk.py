@@ -1,0 +1,250 @@
+"""The simulated disk facade.
+
+Every index structure in the library performs its page I/O through a
+:class:`Disk`.  The disk combines three responsibilities:
+
+* delegate the actual bytes to a :class:`~repro.storage.backend.StorageBackend`;
+* classify every access as sequential or random by tracking the head
+  position (last file and page touched) and charge the
+  :class:`~repro.storage.cost_model.DiskModel` accordingly, accumulating the
+  result in :class:`~repro.storage.cost_model.IOStats`;
+* serve reads from an LRU :class:`~repro.storage.buffer.BufferPool` with a
+  bounded page budget — cached reads are free, mirroring OS page caching,
+  and :meth:`Disk.clear_cache` mirrors the paper's explicit cache dropping
+  before every query.
+
+Reads served by the cache do **not** move the simulated head, exactly as a
+cached read would not move a real disk arm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.storage.backend import InMemoryBackend, StorageBackend
+from repro.storage.buffer import BufferPool
+from repro.storage.cost_model import AccessKind, DiskModel, IOStats
+
+
+class Disk:
+    """Paged storage with cost accounting and a bounded buffer pool.
+
+    Parameters
+    ----------
+    backend:
+        Where page bytes live.  Defaults to a fresh in-memory backend.
+    model:
+        The analytical timing model.  Defaults to paper-like SAS-disk
+        parameters.
+    buffer_pages:
+        Capacity of the LRU buffer pool in pages.  ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend | None = None,
+        model: DiskModel | None = None,
+        buffer_pages: int = 0,
+    ) -> None:
+        self._model = model or DiskModel()
+        self._backend = backend or InMemoryBackend(page_size=self._model.page_size)
+        if self._backend.page_size != self._model.page_size:
+            raise ValueError(
+                "backend and model disagree on page size: "
+                f"{self._backend.page_size} vs {self._model.page_size}"
+            )
+        self._buffer = BufferPool(buffer_pages)
+        self._stats = IOStats()
+        self._head: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def model(self) -> DiskModel:
+        """The timing model in use."""
+        return self._model
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The page store holding this disk's bytes."""
+        return self._backend
+
+    @property
+    def page_size(self) -> int:
+        """Page size in bytes."""
+        return self._model.page_size
+
+    @property
+    def stats(self) -> IOStats:
+        """The cumulative I/O statistics (mutable, shared)."""
+        return self._stats
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        """The LRU buffer pool."""
+        return self._buffer
+
+    def clear_cache(self) -> None:
+        """Drop all cached pages (paper methodology: before every query)."""
+        self._buffer.clear()
+
+    def reset_head(self) -> None:
+        """Forget the head position so the next access is charged a seek."""
+        self._head = None
+
+    # ------------------------------------------------------------------ #
+    # File lifecycle
+    # ------------------------------------------------------------------ #
+
+    def create_file(self, name: str) -> None:
+        """Create an empty file."""
+        self._backend.create(name)
+
+    def delete_file(self, name: str) -> None:
+        """Delete a file, dropping any cached pages it had."""
+        self._backend.delete(name)
+        self._buffer.invalidate_file(name)
+        if self._head is not None and self._head[0] == name:
+            self._head = None
+
+    def file_exists(self, name: str) -> bool:
+        """Whether the file exists."""
+        return self._backend.exists(name)
+
+    def list_files(self) -> list[str]:
+        """Names of all files."""
+        return self._backend.list_files()
+
+    def num_pages(self, name: str) -> int:
+        """Number of pages in a file."""
+        return self._backend.num_pages(name)
+
+    def file_size_bytes(self, name: str) -> int:
+        """Size of a file in bytes."""
+        return self.num_pages(name) * self.page_size
+
+    # ------------------------------------------------------------------ #
+    # Page I/O
+    # ------------------------------------------------------------------ #
+
+    def read_page(self, name: str, page_no: int) -> bytes:
+        """Read one page, charging a seek if the head is elsewhere."""
+        cached = self._buffer.get(name, page_no)
+        if cached is not None:
+            self._stats.record_cache_hit()
+            return cached
+        kind = self._classify(name, page_no)
+        data = self._backend.read(name, page_no)
+        self._charge_read(kind, 1)
+        self._advance_head(name, page_no)
+        self._buffer.put(name, page_no, data)
+        return data
+
+    def read_run(self, name: str, start: int, count: int) -> list[bytes]:
+        """Read ``count`` consecutive pages starting at ``start``.
+
+        The run is charged as one positioning operation plus sequential
+        transfers for the uncached pages; cached pages inside the run are
+        free and do not break the sequential charging of the rest (the real
+        disk would stream through them anyway).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        pages: list[bytes] = []
+        uncached = 0
+        first_uncached: int | None = None
+        for offset in range(count):
+            page_no = start + offset
+            cached = self._buffer.get(name, page_no)
+            if cached is not None:
+                self._stats.record_cache_hit()
+                pages.append(cached)
+                continue
+            data = self._backend.read(name, page_no)
+            if first_uncached is None:
+                first_uncached = page_no
+            uncached += 1
+            pages.append(data)
+            self._buffer.put(name, page_no, data)
+        if uncached:
+            assert first_uncached is not None
+            kind = self._classify(name, first_uncached)
+            self._charge_read(kind, uncached)
+            self._advance_head(name, start + count - 1)
+        return pages
+
+    def write_page(self, name: str, page_no: int, data: bytes) -> None:
+        """Overwrite one page in place (write-through to the backend)."""
+        kind = self._classify(name, page_no)
+        self._backend.write(name, page_no, data)
+        self._charge_write(kind, 1)
+        self._advance_head(name, page_no)
+        self._buffer.put(name, page_no, self._backend.read(name, page_no))
+
+    def append_page(self, name: str, data: bytes) -> int:
+        """Append one page to the end of the file and return its number."""
+        next_page = self._backend.num_pages(name)
+        kind = self._classify(name, next_page)
+        page_no = self._backend.append(name, data)
+        self._charge_write(kind, 1)
+        self._advance_head(name, page_no)
+        self._buffer.put(name, page_no, self._backend.read(name, page_no))
+        return page_no
+
+    def append_run(self, name: str, pages: Sequence[bytes]) -> int:
+        """Append several pages; returns the page number of the first one."""
+        if not pages:
+            return self._backend.num_pages(name)
+        first = self._backend.num_pages(name)
+        kind = self._classify(name, first)
+        for data in pages:
+            page_no = self._backend.append(name, data)
+            self._buffer.put(name, page_no, self._backend.read(name, page_no))
+        self._charge_write(kind, len(pages))
+        self._advance_head(name, first + len(pages) - 1)
+        return first
+
+    def scan_pages(self, name: str) -> Iterator[bytes]:
+        """Yield every page of a file in order (charged as one sequential run)."""
+        total = self.num_pages(name)
+        chunk = 256
+        for start in range(0, total, chunk):
+            count = min(chunk, total - start)
+            yield from self.read_run(name, start, count)
+
+    # ------------------------------------------------------------------ #
+    # CPU accounting
+    # ------------------------------------------------------------------ #
+
+    def charge_cpu_records(self, records: int) -> None:
+        """Charge simulated CPU time for processing ``records`` records."""
+        self._stats.record_cpu(self._model.cpu_time_s(records))
+
+    def charge_cpu_seconds(self, seconds: float) -> None:
+        """Charge an explicit amount of simulated CPU time."""
+        self._stats.record_cpu(seconds)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _classify(self, name: str, page_no: int) -> AccessKind:
+        if self._head is None:
+            return AccessKind.RANDOM
+        head_file, head_page = self._head
+        if head_file == name and page_no == head_page + 1:
+            return AccessKind.SEQUENTIAL
+        return AccessKind.RANDOM
+
+    def _advance_head(self, name: str, page_no: int) -> None:
+        self._head = (name, page_no)
+
+    def _charge_read(self, kind: AccessKind, pages: int) -> None:
+        seconds = self._model.access_time_s(kind, pages)
+        self._stats.record_read(kind, pages, seconds)
+
+    def _charge_write(self, kind: AccessKind, pages: int) -> None:
+        seconds = self._model.access_time_s(kind, pages)
+        self._stats.record_write(kind, pages, seconds)

@@ -1,0 +1,283 @@
+"""Record-oriented files on top of the simulated disk.
+
+A :class:`PagedFile` stores *groups* of fixed-size records.  Each group
+occupies whole pages (groups never share a page) described by a
+:class:`StoredRun` — a list of page extents plus the record count.  Groups
+are the unit the indexes work with: a Space Odyssey partition, a Grid cell,
+an R-tree leaf or a merge-file segment is one group.
+
+The write path supports the paper's *in-place refinement*: when a partition
+is split, the pages it used to occupy are handed back to
+:meth:`PagedFile.write_groups` for reuse, and only the overflow is appended
+at the end of the file (Section 3.1.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, Iterator, Sequence, TypeVar
+
+from repro.storage.codec import RecordCodec, decode_page, encode_page, records_per_page
+from repro.storage.disk import Disk
+
+RecordT = TypeVar("RecordT")
+
+
+@dataclass(frozen=True, slots=True)
+class PageExtent:
+    """A run of ``count`` consecutive pages starting at ``start``."""
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+        if self.count < 1:
+            raise ValueError("count must be positive")
+
+    @property
+    def end(self) -> int:
+        """Page number one past the last page of the extent."""
+        return self.start + self.count
+
+    def pages(self) -> Iterator[int]:
+        """Yield the page numbers covered by the extent."""
+        return iter(range(self.start, self.end))
+
+
+def coalesce_pages(page_numbers: Sequence[int]) -> list[PageExtent]:
+    """Compress a sorted-or-not list of page numbers into maximal extents."""
+    if not page_numbers:
+        return []
+    ordered = sorted(page_numbers)
+    extents: list[PageExtent] = []
+    run_start = ordered[0]
+    run_len = 1
+    for page_no in ordered[1:]:
+        if page_no == run_start + run_len:
+            run_len += 1
+        else:
+            extents.append(PageExtent(run_start, run_len))
+            run_start = page_no
+            run_len = 1
+    extents.append(PageExtent(run_start, run_len))
+    return extents
+
+
+@dataclass(frozen=True, slots=True)
+class StoredRun:
+    """Where one group of records lives: its page extents and record count."""
+
+    extents: tuple[PageExtent, ...]
+    n_records: int
+
+    def __post_init__(self) -> None:
+        if self.n_records < 0:
+            raise ValueError("n_records must be non-negative")
+
+    @property
+    def n_pages(self) -> int:
+        """Total number of pages occupied by the group."""
+        return sum(extent.count for extent in self.extents)
+
+    def page_numbers(self) -> list[int]:
+        """All page numbers of the group, in storage order."""
+        pages: list[int] = []
+        for extent in self.extents:
+            pages.extend(extent.pages())
+        return pages
+
+
+@dataclass(slots=True)
+class _PageAllocator:
+    """Hands out page slots, reusing a free list before appending new pages.
+
+    ``None`` slots signal "append a fresh page at the end of the file".
+    """
+
+    free_pages: list[int] = field(default_factory=list)
+    cursor: int = 0
+
+    def take(self) -> int | None:
+        if self.cursor < len(self.free_pages):
+            page_no = self.free_pages[self.cursor]
+            self.cursor += 1
+            return page_no
+        return None
+
+
+class PagedFile(Generic[RecordT]):
+    """A named file of record groups on a :class:`~repro.storage.disk.Disk`.
+
+    The file is created lazily on the first write if it does not exist.
+    """
+
+    def __init__(self, disk: Disk, name: str, codec: RecordCodec[RecordT]) -> None:
+        self._disk = disk
+        self._name = name
+        self._codec = codec
+        self._records_per_page = records_per_page(codec.record_size, disk.page_size)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """The underlying file name."""
+        return self._name
+
+    @property
+    def disk(self) -> Disk:
+        """The disk this file lives on."""
+        return self._disk
+
+    @property
+    def codec(self) -> RecordCodec[RecordT]:
+        """The record codec."""
+        return self._codec
+
+    @property
+    def records_per_page(self) -> int:
+        """Maximum number of records per page."""
+        return self._records_per_page
+
+    def exists(self) -> bool:
+        """Whether the file has been created."""
+        return self._disk.file_exists(self._name)
+
+    def num_pages(self) -> int:
+        """Number of pages currently in the file (0 if not created)."""
+        if not self.exists():
+            return 0
+        return self._disk.num_pages(self._name)
+
+    def delete(self) -> None:
+        """Delete the file if it exists."""
+        if self.exists():
+            self._disk.delete_file(self._name)
+
+    def pages_needed(self, n_records: int) -> int:
+        """How many pages a group of ``n_records`` records occupies."""
+        if n_records <= 0:
+            return 0
+        return -(-n_records // self._records_per_page)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def append_group(self, records: Sequence[RecordT]) -> StoredRun:
+        """Append one group of records at the end of the file."""
+        self._ensure_created()
+        if not records:
+            return StoredRun(extents=(), n_records=0)
+        pages = self._encode_group(records)
+        first = self._disk.append_run(self._name, pages)
+        return StoredRun(extents=(PageExtent(first, len(pages)),), n_records=len(records))
+
+    def write_groups(
+        self,
+        groups: Sequence[Sequence[RecordT]],
+        reuse: Sequence[PageExtent] = (),
+    ) -> list[StoredRun]:
+        """Write several groups, reusing the given page extents first.
+
+        This implements the paper's in-place refinement: the pages of the
+        partition being split are reused for its children, and any overflow
+        is appended at the end of the file.  Groups never share pages, so
+        each resulting :class:`StoredRun` can be read independently.
+        """
+        self._ensure_created()
+        allocator = _PageAllocator(free_pages=[p for ext in reuse for p in ext.pages()])
+        runs: list[StoredRun] = []
+        pending_appends: list[bytes] = []
+        pending_groups: list[tuple[int, list[int]]] = []  # (group index, missing page count)
+        for index, records in enumerate(groups):
+            if not records:
+                runs.append(StoredRun(extents=(), n_records=0))
+                continue
+            pages = self._encode_group(records)
+            assigned: list[int] = []
+            missing = 0
+            for page_bytes in pages:
+                slot = allocator.take()
+                if slot is None:
+                    pending_appends.append(page_bytes)
+                    missing += 1
+                else:
+                    self._disk.write_page(self._name, slot, page_bytes)
+                    assigned.append(slot)
+            runs.append(StoredRun(extents=tuple(coalesce_pages(assigned)), n_records=len(records)))
+            if missing:
+                pending_groups.append((index, [missing]))
+        if pending_appends:
+            first_new = self._disk.append_run(self._name, pending_appends)
+            cursor = first_new
+            for index, (missing,) in pending_groups:
+                new_pages = list(range(cursor, cursor + missing))
+                cursor += missing
+                old_run = runs[index]
+                combined = old_run.page_numbers() + new_pages
+                runs[index] = StoredRun(
+                    extents=tuple(coalesce_pages(combined)), n_records=old_run.n_records
+                )
+        return runs
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def read_group(self, run: StoredRun) -> list[RecordT]:
+        """Read back one group of records."""
+        records: list[RecordT] = []
+        for extent in run.extents:
+            for page_bytes in self._disk.read_run(self._name, extent.start, extent.count):
+                records.extend(decode_page(self._codec, page_bytes))
+        if len(records) < run.n_records:
+            raise ValueError(
+                f"group in {self._name!r} is corrupt: expected {run.n_records} "
+                f"records, decoded {len(records)}"
+            )
+        return records[: run.n_records]
+
+    def read_groups(self, runs: Iterable[StoredRun]) -> list[RecordT]:
+        """Read several groups and concatenate their records."""
+        records: list[RecordT] = []
+        for run in runs:
+            records.extend(self.read_group(run))
+        return records
+
+    def read_page_records(self, page_no: int) -> list[RecordT]:
+        """Decode all records stored in one page.
+
+        Index structures that address whole-page groups by page number
+        (R-tree nodes, FLAT leaves) use this instead of carrying a
+        :class:`StoredRun` around; the per-page record-count header makes
+        the page self-describing.
+        """
+        page_bytes = self._disk.read_page(self._name, page_no)
+        return decode_page(self._codec, page_bytes)
+
+    def scan(self) -> Iterator[RecordT]:
+        """Yield every record in the file in page order (one sequential pass)."""
+        if not self.exists():
+            return
+        for page_bytes in self._disk.scan_pages(self._name):
+            yield from decode_page(self._codec, page_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _ensure_created(self) -> None:
+        if not self._disk.file_exists(self._name):
+            self._disk.create_file(self._name)
+
+    def _encode_group(self, records: Sequence[RecordT]) -> list[bytes]:
+        pages: list[bytes] = []
+        for start in range(0, len(records), self._records_per_page):
+            chunk = records[start : start + self._records_per_page]
+            pages.append(encode_page(self._codec, chunk, self._disk.page_size))
+        return pages

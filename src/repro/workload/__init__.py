@@ -1,0 +1,33 @@
+"""Synthetic exploration workloads (Section 4.1 of the paper).
+
+A workload is a sequence of range queries, each of which specifies the
+spatial range ``A`` and the subset of datasets it targets.  The paper
+generates them from two independent choices, both reproduced here:
+
+* **query ranges** — fixed-volume boxes whose centres are either clustered
+  (Gaussian around a small number of cluster centres, mimicking scientists
+  repeatedly inspecting the same brain regions) or uniform;
+* **queried datasets** — the combination of datasets per query is drawn
+  from a Gray-et-al.-style synthetic distribution: heavy hitter,
+  self-similar (80–20), Zipf (exponent 2) or uniform.
+"""
+
+from repro.workload.builder import Workload, WorkloadBuilder
+from repro.workload.combinations import CombinationDistribution, CombinationGenerator
+from repro.workload.query import RangeQuery
+from repro.workload.ranges import (
+    ClusteredRangeGenerator,
+    RangeGenerator,
+    UniformRangeGenerator,
+)
+
+__all__ = [
+    "ClusteredRangeGenerator",
+    "CombinationDistribution",
+    "CombinationGenerator",
+    "RangeGenerator",
+    "RangeQuery",
+    "UniformRangeGenerator",
+    "Workload",
+    "WorkloadBuilder",
+]

@@ -1,0 +1,89 @@
+"""Workload assembly.
+
+A :class:`Workload` is the materialised query sequence an experiment runs:
+every query has a range (from a range generator) and a target combination
+of datasets (from a combination generator).  The builder also reports the
+number of *distinct* combinations actually queried, which the paper prints
+on the x axis of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.workload.combinations import CombinationGenerator
+from repro.workload.query import RangeQuery
+from repro.workload.ranges import RangeGenerator
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered sequence of range queries plus descriptive metadata."""
+
+    queries: tuple[RangeQuery, ...]
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[RangeQuery]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> RangeQuery:
+        return self.queries[index]
+
+    def combinations_queried(self) -> set[frozenset[int]]:
+        """The distinct dataset combinations that appear in the workload."""
+        return {query.combination for query in self.queries}
+
+    def n_combinations_queried(self) -> int:
+        """Number of distinct combinations (Figure 4's secondary x label)."""
+        return len(self.combinations_queried())
+
+    def queries_for_combination(self, combination: Sequence[int]) -> list[RangeQuery]:
+        """All queries targeting exactly the given combination."""
+        wanted = frozenset(combination)
+        return [query for query in self.queries if query.combination == wanted]
+
+    def datasets_touched(self) -> set[int]:
+        """Every dataset id that appears in at least one query."""
+        touched: set[int] = set()
+        for query in self.queries:
+            touched.update(query.dataset_ids)
+        return touched
+
+
+class WorkloadBuilder:
+    """Combines a range generator and a combination generator into a workload."""
+
+    def __init__(
+        self,
+        range_generator: RangeGenerator,
+        combination_generator: CombinationGenerator,
+    ) -> None:
+        self._ranges = range_generator
+        self._combinations = combination_generator
+
+    def build(self, n_queries: int, description: str = "") -> Workload:
+        """Materialise ``n_queries`` queries."""
+        if n_queries < 1:
+            raise ValueError("n_queries must be >= 1")
+        queries = []
+        for qid in range(n_queries):
+            box = self._ranges.next_range()
+            combination = self._combinations.sample()
+            queries.append(RangeQuery(qid=qid, box=box, dataset_ids=combination))
+        workload = Workload(
+            queries=tuple(queries),
+            description=description,
+            metadata={
+                "n_queries": n_queries,
+                "volume_fraction": self._ranges.volume_fraction,
+                "range_generator": type(self._ranges).__name__,
+                "combination_distribution": self._combinations.distribution.value,
+                "n_possible_combinations": self._combinations.n_possible_combinations,
+            },
+        )
+        return workload

@@ -1,0 +1,196 @@
+"""Dataset-combination distributions (Gray et al., SIGMOD '94 style).
+
+For every query the workload picks *which* datasets are queried together.
+The paper draws the combination of ``k`` out of ``n`` datasets from one of
+four synthetic distributions:
+
+* **heavy hitter** — one combination accounts for 50 % of all queries, the
+  rest are uniform over the remaining combinations;
+* **self-similar** — the classic 80–20 rule over the ordered combination
+  space;
+* **Zipf** — probability proportional to ``1 / rank**2`` (exponent 2);
+* **uniform** — no skew (the control case).
+
+Which concrete combinations are "hot" is an arbitrary labelling, so the
+generator shuffles the combination space once (seeded) and applies the
+distribution to the shuffled order — exactly what a Gray-style generator
+over record identifiers does.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from typing import Sequence
+
+import numpy as np
+
+#: Upper bound on the number of enumerable combinations; the paper's space
+#: peaks at C(10, 5) = 252, far below this.
+MAX_COMBINATIONS = 200_000
+
+
+class CombinationDistribution(enum.Enum):
+    """The four distributions used in the paper's evaluation."""
+
+    UNIFORM = "uniform"
+    ZIPF = "zipf"
+    SELF_SIMILAR = "self_similar"
+    HEAVY_HITTER = "heavy_hitter"
+
+    @classmethod
+    def from_name(cls, name: str) -> "CombinationDistribution":
+        """Parse a distribution name (accepting dashes and mixed case)."""
+        normalized = name.strip().lower().replace("-", "_")
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise ValueError(
+            f"unknown combination distribution {name!r}; "
+            f"expected one of {[m.value for m in cls]}"
+        )
+
+
+class CombinationGenerator:
+    """Draws combinations of ``datasets_per_query`` datasets per query.
+
+    Parameters
+    ----------
+    dataset_ids:
+        The identifiers of all available datasets.
+    datasets_per_query:
+        ``k`` — how many datasets every query targets (the x axis of
+        Figure 4 sweeps this from 1 to 9 out of 10).
+    distribution:
+        Which skew to apply to the combination space.
+    seed:
+        Seed for both the hot-combination labelling and the per-query draws.
+    zipf_exponent:
+        Exponent of the Zipf distribution (the paper uses 2).
+    self_similar_h:
+        The "h" of the h/(1-h) self-similar rule (0.2 yields the classic
+        80–20 proportion used in the paper).
+    heavy_hitter_share:
+        Fraction of queries that go to the single heavy-hitter combination
+        (0.5 in the paper).
+    """
+
+    def __init__(
+        self,
+        dataset_ids: Sequence[int],
+        datasets_per_query: int,
+        distribution: CombinationDistribution | str,
+        seed: int,
+        zipf_exponent: float = 2.0,
+        self_similar_h: float = 0.2,
+        heavy_hitter_share: float = 0.5,
+    ) -> None:
+        ids = sorted(set(dataset_ids))
+        if len(ids) != len(dataset_ids):
+            raise ValueError("dataset_ids must be unique")
+        if not 1 <= datasets_per_query <= len(ids):
+            raise ValueError(
+                f"datasets_per_query must be between 1 and {len(ids)}, "
+                f"got {datasets_per_query}"
+            )
+        n_combos = math.comb(len(ids), datasets_per_query)
+        if n_combos > MAX_COMBINATIONS:
+            raise ValueError(
+                f"{n_combos} possible combinations exceed the supported maximum "
+                f"of {MAX_COMBINATIONS}"
+            )
+        if isinstance(distribution, str):
+            distribution = CombinationDistribution.from_name(distribution)
+        if not 0 < heavy_hitter_share < 1:
+            raise ValueError("heavy_hitter_share must be in (0, 1)")
+        if not 0 < self_similar_h < 1:
+            raise ValueError("self_similar_h must be in (0, 1)")
+        if zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+
+        self._distribution = distribution
+        self._rng = np.random.default_rng(seed)
+        combos = [tuple(c) for c in itertools.combinations(ids, datasets_per_query)]
+        order = self._rng.permutation(len(combos))
+        self._combinations: list[tuple[int, ...]] = [combos[i] for i in order]
+        self._weights = self._compute_weights(
+            len(self._combinations),
+            distribution,
+            zipf_exponent,
+            self_similar_h,
+            heavy_hitter_share,
+        )
+
+    @staticmethod
+    def _compute_weights(
+        count: int,
+        distribution: CombinationDistribution,
+        zipf_exponent: float,
+        self_similar_h: float,
+        heavy_hitter_share: float,
+    ) -> np.ndarray:
+        if count == 1:
+            return np.array([1.0])
+        ranks = np.arange(1, count + 1, dtype=float)
+        if distribution is CombinationDistribution.UNIFORM:
+            weights = np.ones(count)
+        elif distribution is CombinationDistribution.ZIPF:
+            weights = 1.0 / ranks**zipf_exponent
+        elif distribution is CombinationDistribution.HEAVY_HITTER:
+            weights = np.full(count, (1.0 - heavy_hitter_share) / (count - 1))
+            weights[0] = heavy_hitter_share
+        elif distribution is CombinationDistribution.SELF_SIMILAR:
+            # Gray et al.: drawing index = N * u**(log(h) / log(1 - h))
+            # concentrates (1 - h) of the mass on the first h * N items.
+            # The equivalent closed-form weights come from the CDF
+            # F(i) = (i / N) ** (log(1 - h) / log(h)).
+            exponent = math.log(1.0 - self_similar_h) / math.log(self_similar_h)
+            cdf = (ranks / count) ** exponent
+            weights = np.diff(np.concatenate(([0.0], cdf)))
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(f"unhandled distribution {distribution}")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("degenerate distribution weights")
+        return weights / total
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def distribution(self) -> CombinationDistribution:
+        """The configured distribution."""
+        return self._distribution
+
+    @property
+    def n_possible_combinations(self) -> int:
+        """Size of the combination space ``C(n, k)``."""
+        return len(self._combinations)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Per-combination probabilities, aligned with :meth:`combinations`."""
+        return self._weights.copy()
+
+    def combinations(self) -> list[tuple[int, ...]]:
+        """The (shuffled) combination space the weights refer to."""
+        return list(self._combinations)
+
+    @property
+    def hot_combination(self) -> tuple[int, ...]:
+        """The most likely combination under the configured distribution."""
+        return self._combinations[int(np.argmax(self._weights))]
+
+    def sample(self) -> tuple[int, ...]:
+        """Draw the combination for one query."""
+        index = int(self._rng.choice(len(self._combinations), p=self._weights))
+        return self._combinations[index]
+
+    def sample_many(self, count: int) -> list[tuple[int, ...]]:
+        """Draw ``count`` combinations."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        indices = self._rng.choice(len(self._combinations), size=count, p=self._weights)
+        return [self._combinations[int(i)] for i in indices]

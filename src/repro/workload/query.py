@@ -1,0 +1,49 @@
+"""Range queries over subsets of datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.box import Box
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQuery:
+    """One exploration query ``Q = {A; DS_1, ..., DS_N}``.
+
+    Parameters
+    ----------
+    qid:
+        Position of the query in the workload sequence.
+    box:
+        The queried spatial range ``A``.
+    dataset_ids:
+        The datasets the range is evaluated over, sorted and de-duplicated.
+    """
+
+    qid: int
+    box: Box
+    dataset_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.qid < 0:
+            raise ValueError("qid must be non-negative")
+        if not self.dataset_ids:
+            raise ValueError("a query must target at least one dataset")
+        ordered = tuple(sorted(set(self.dataset_ids)))
+        if ordered != self.dataset_ids:
+            object.__setattr__(self, "dataset_ids", ordered)
+
+    @property
+    def combination(self) -> frozenset[int]:
+        """The queried combination of datasets."""
+        return frozenset(self.dataset_ids)
+
+    @property
+    def n_datasets(self) -> int:
+        """How many datasets the query targets."""
+        return len(self.dataset_ids)
+
+    def volume(self) -> float:
+        """Volume of the queried range."""
+        return self.box.volume()

@@ -1,0 +1,130 @@
+"""Query-range generators.
+
+The paper uses fixed-volume queries (``qvol`` = 10⁻⁴ % of the queried brain
+volume) whose centres follow either a clustered distribution — Gaussian
+noise around a small set of cluster centres, ten by default — or a uniform
+distribution (the non-skewed control, Figure 4d / 5b).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.geometry.random_boxes import random_box_with_volume, random_point_in_box
+
+
+class RangeGenerator(ABC):
+    """Produces an endless stream of query ranges inside a universe."""
+
+    def __init__(self, universe: Box, volume_fraction: float, seed: int) -> None:
+        if not 0 < volume_fraction <= 1:
+            raise ValueError("volume_fraction must be in (0, 1]")
+        self._universe = universe
+        self._volume_fraction = volume_fraction
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def universe(self) -> Box:
+        """The space queries are drawn from."""
+        return self._universe
+
+    @property
+    def volume_fraction(self) -> float:
+        """Query volume as a fraction of the universe volume."""
+        return self._volume_fraction
+
+    @abstractmethod
+    def next_center(self) -> tuple[float, ...]:
+        """The centre of the next query range."""
+
+    def next_range(self) -> Box:
+        """The next query range (a fixed-volume box clamped to the universe)."""
+        return random_box_with_volume(
+            self._rng,
+            self._universe,
+            self._volume_fraction,
+            center=self.next_center(),
+        )
+
+    def ranges(self, count: int) -> Iterator[Box]:
+        """Yield ``count`` query ranges."""
+        for _ in range(count):
+            yield self.next_range()
+
+
+class UniformRangeGenerator(RangeGenerator):
+    """Query centres drawn uniformly from the universe (no spatial skew)."""
+
+    def next_center(self) -> tuple[float, ...]:
+        """A uniformly random centre."""
+        return random_point_in_box(self._rng, self._universe)
+
+
+class ClusteredRangeGenerator(RangeGenerator):
+    """Query centres clustered around a small set of cluster centres.
+
+    Parameters
+    ----------
+    universe, volume_fraction, seed:
+        As for :class:`RangeGenerator`.
+    n_cluster_centers:
+        Number of cluster centres (the paper uses 10 for Figures 4/5a and 5
+        for the merging experiment of Figure 5c).
+    sigma_query_sides:
+        Standard deviation of the Gaussian noise around a cluster centre,
+        expressed in multiples of the query side length (the paper's
+        ``sigma = qvol x 10``; the default keeps the blobs tight so that
+        clustered queries repeatedly revisit the same areas, as in the
+        paper's Figure 3).
+    cluster_centers:
+        Optional explicit centres.  Experiments pass the data generator's
+        microcircuit centres here so that clustered queries actually hit
+        populated brain regions; when omitted, centres are drawn uniformly
+        from the universe.
+    """
+
+    def __init__(
+        self,
+        universe: Box,
+        volume_fraction: float,
+        seed: int,
+        n_cluster_centers: int = 10,
+        sigma_query_sides: float = 1.0,
+        cluster_centers: Sequence[Sequence[float]] | None = None,
+    ) -> None:
+        super().__init__(universe, volume_fraction, seed)
+        if n_cluster_centers < 1:
+            raise ValueError("n_cluster_centers must be >= 1")
+        if sigma_query_sides <= 0:
+            raise ValueError("sigma_query_sides must be positive")
+        dim = universe.dimension
+        if cluster_centers is not None:
+            centers = np.asarray(cluster_centers, dtype=float)
+            if centers.ndim != 2 or centers.shape[1] != dim:
+                raise ValueError("cluster_centers must be an (n, dimension) array")
+            if len(centers) > n_cluster_centers:
+                picks = self._rng.choice(len(centers), size=n_cluster_centers, replace=False)
+                centers = centers[picks]
+            self._centers = centers
+        else:
+            self._centers = np.asarray(
+                [random_point_in_box(self._rng, universe) for _ in range(n_cluster_centers)]
+            )
+        query_side = (universe.volume() * volume_fraction) ** (1.0 / dim)
+        self._sigma = query_side * sigma_query_sides
+
+    @property
+    def cluster_centers(self) -> np.ndarray:
+        """The cluster centres in use."""
+        return self._centers.copy()
+
+    def next_center(self) -> tuple[float, ...]:
+        """A centre drawn from a Gaussian around a random cluster centre."""
+        cluster = int(self._rng.integers(len(self._centers)))
+        center = self._rng.normal(self._centers[cluster], self._sigma)
+        center = np.clip(center, np.asarray(self._universe.lo), np.asarray(self._universe.hi))
+        return tuple(float(c) for c in center)

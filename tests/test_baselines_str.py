@@ -1,0 +1,105 @@
+"""Unit tests for STR packing and external-sort cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.str_packing import (
+    charge_external_sort,
+    external_sort_passes,
+    group_consecutive,
+    leaf_mbr,
+    str_sort_tile,
+)
+from repro.geometry.box import Box
+from repro.storage.cost_model import DiskModel
+from repro.storage.disk import Disk
+
+from tests.conftest import make_random_objects
+
+
+@pytest.fixture
+def universe() -> Box:
+    return Box((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+
+
+class TestStrSortTile:
+    def test_all_objects_packed_exactly_once(self, universe):
+        objects = make_random_objects(universe, 400, seed=1)
+        leaves = str_sort_tile(objects, leaf_capacity=20)
+        packed = [o for leaf in leaves for o in leaf]
+        assert sorted(o.oid for o in packed) == sorted(o.oid for o in objects)
+
+    def test_leaf_capacity_respected(self, universe):
+        objects = make_random_objects(universe, 333, seed=2)
+        leaves = str_sort_tile(objects, leaf_capacity=25)
+        assert all(1 <= len(leaf) <= 25 for leaf in leaves)
+
+    def test_small_input_single_leaf(self, universe):
+        objects = make_random_objects(universe, 5, seed=3)
+        leaves = str_sort_tile(objects, leaf_capacity=10)
+        assert len(leaves) == 1
+
+    def test_empty_input(self):
+        assert str_sort_tile([], leaf_capacity=10) == []
+
+    def test_invalid_capacity(self, universe):
+        with pytest.raises(ValueError):
+            str_sort_tile(make_random_objects(universe, 5), leaf_capacity=0)
+
+    def test_leaves_are_spatially_coherent(self, universe):
+        # STR leaves should have much smaller MBRs than the universe.
+        objects = make_random_objects(universe, 1000, seed=4)
+        leaves = str_sort_tile(objects, leaf_capacity=50)
+        avg_volume = sum(leaf_mbr(leaf).volume() for leaf in leaves) / len(leaves)
+        assert avg_volume < universe.volume() / len(leaves) * 8
+
+
+class TestExternalSortPasses:
+    def test_fits_in_memory_is_one_pass(self):
+        assert external_sort_passes(data_pages=100, memory_pages=200) == 1
+
+    def test_larger_data_needs_more_passes(self):
+        assert external_sort_passes(data_pages=1000, memory_pages=10) >= 3
+        assert external_sort_passes(data_pages=1000, memory_pages=100) == 2
+
+    def test_zero_data(self):
+        assert external_sort_passes(0, 10) == 0
+
+    def test_monotone_in_data_size(self):
+        passes = [external_sort_passes(n, 16) for n in (10, 100, 1000, 10_000)]
+        assert passes == sorted(passes)
+
+
+class TestChargeExternalSort:
+    def test_charges_read_and_write_per_pass(self):
+        disk = Disk(model=DiskModel(seek_time_s=0.0), buffer_pages=0)
+        charge_external_sort(disk, data_pages=100, memory_pages=1000, n_phases=1)
+        assert disk.stats.pages_read == 100
+        assert disk.stats.pages_written == 100
+
+    def test_phases_multiply_cost(self):
+        disk_one = Disk(model=DiskModel(), buffer_pages=0)
+        disk_three = Disk(model=DiskModel(), buffer_pages=0)
+        charge_external_sort(disk_one, 100, 1000, n_phases=1)
+        charge_external_sort(disk_three, 100, 1000, n_phases=3)
+        assert disk_three.stats.pages_read == 3 * disk_one.stats.pages_read
+
+    def test_records_add_cpu(self):
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        charge_external_sort(disk, 10, 1000, n_phases=1, records=10_000)
+        assert disk.stats.cpu_seconds > 0
+
+    def test_zero_pages_is_noop(self):
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        charge_external_sort(disk, 0, 16)
+        assert disk.stats.simulated_seconds == 0
+
+
+class TestGroupConsecutive:
+    def test_grouping(self):
+        assert group_consecutive([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            group_consecutive([1], 0)

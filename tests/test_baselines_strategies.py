@@ -1,0 +1,140 @@
+"""Unit tests for the 1fE / Ain1 strategies and the brute-force oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.grid import GridIndex
+from repro.baselines.interface import BruteForceScan, result_keys
+from repro.baselines.strategies import AllInOne, OneForEach
+from repro.geometry.box import Box
+
+from tests.conftest import make_catalog
+
+
+@pytest.fixture
+def catalog(disk, universe):
+    return make_catalog(disk, universe, n_datasets=3, count=200, seed=31)
+
+
+@pytest.fixture
+def grid_factory(disk, universe):
+    def factory(name: str) -> GridIndex:
+        return GridIndex(disk, name, universe, cells_per_dim=4)
+
+    return factory
+
+
+@pytest.fixture
+def oracle(catalog):
+    return BruteForceScan(catalog)
+
+
+QUERY = Box.cube((50.0, 50.0, 50.0), 30.0)
+
+
+class TestBruteForceScan:
+    def test_filters_by_dataset(self, catalog, oracle):
+        result = oracle.query(QUERY, [0, 2])
+        assert {o.dataset_id for o in result} <= {0, 2}
+
+    def test_is_always_built(self, oracle):
+        assert oracle.is_built
+        oracle.build()  # no-op
+
+
+class TestOneForEach:
+    def test_builds_one_index_per_dataset(self, catalog, grid_factory):
+        strategy = OneForEach(catalog, grid_factory, "Grid-1fE")
+        strategy.build()
+        assert strategy.is_built
+        assert set(strategy.indexes) == {0, 1, 2}
+
+    def test_query_matches_oracle(self, catalog, grid_factory, oracle):
+        strategy = OneForEach(catalog, grid_factory, "Grid-1fE")
+        strategy.build()
+        for ids in ([0], [1, 2], [0, 1, 2]):
+            assert result_keys(strategy.query(QUERY, ids)) == result_keys(
+                oracle.query(QUERY, ids)
+            )
+
+    def test_query_before_build_fails(self, catalog, grid_factory):
+        strategy = OneForEach(catalog, grid_factory)
+        with pytest.raises(RuntimeError):
+            strategy.query(QUERY, [0])
+
+    def test_build_twice_fails(self, catalog, grid_factory):
+        strategy = OneForEach(catalog, grid_factory)
+        strategy.build()
+        with pytest.raises(RuntimeError):
+            strategy.build()
+
+    def test_unknown_dataset_rejected(self, catalog, grid_factory):
+        strategy = OneForEach(catalog, grid_factory)
+        strategy.build()
+        with pytest.raises(KeyError):
+            strategy.query(QUERY, [99])
+
+    def test_probes_only_requested_indexes(self, catalog, grid_factory, disk):
+        strategy = OneForEach(catalog, grid_factory, "Grid-1fE")
+        strategy.build()
+        disk.clear_cache()
+        before = disk.stats.snapshot()
+        strategy.query(QUERY, [0])
+        one_dataset_io = disk.stats.delta_since(before).pages_read
+        disk.clear_cache()
+        before = disk.stats.snapshot()
+        strategy.query(QUERY, [0, 1, 2])
+        all_datasets_io = disk.stats.delta_since(before).pages_read
+        assert all_datasets_io >= one_dataset_io
+
+    def test_drop(self, catalog, grid_factory):
+        strategy = OneForEach(catalog, grid_factory)
+        strategy.build()
+        strategy.drop()
+        assert not strategy.is_built
+
+
+class TestAllInOne:
+    def test_builds_single_index(self, catalog, grid_factory):
+        strategy = AllInOne(catalog, grid_factory, "Grid-Ain1")
+        strategy.build()
+        assert strategy.is_built
+        assert strategy.index is not None
+        assert strategy.index.n_objects == catalog.total_objects()
+
+    def test_query_matches_oracle(self, catalog, grid_factory, oracle):
+        strategy = AllInOne(catalog, grid_factory, "Grid-Ain1")
+        strategy.build()
+        for ids in ([1], [0, 2], [0, 1, 2]):
+            assert result_keys(strategy.query(QUERY, ids)) == result_keys(
+                oracle.query(QUERY, ids)
+            )
+
+    def test_filters_non_requested_datasets(self, catalog, grid_factory):
+        strategy = AllInOne(catalog, grid_factory)
+        strategy.build()
+        result = strategy.query(universe_box(catalog), [1])
+        assert {o.dataset_id for o in result} == {1}
+
+    def test_query_before_build_fails(self, catalog, grid_factory):
+        strategy = AllInOne(catalog, grid_factory)
+        with pytest.raises(RuntimeError):
+            strategy.query(QUERY, [0])
+
+    def test_unknown_dataset_rejected(self, catalog, grid_factory):
+        strategy = AllInOne(catalog, grid_factory)
+        strategy.build()
+        with pytest.raises(KeyError):
+            strategy.query(QUERY, [42])
+
+    def test_drop(self, catalog, grid_factory):
+        strategy = AllInOne(catalog, grid_factory)
+        strategy.build()
+        strategy.drop()
+        assert not strategy.is_built
+        assert strategy.index is None
+
+
+def universe_box(catalog) -> Box:
+    return catalog.universe

@@ -1,0 +1,111 @@
+"""Unit tests for raw datasets and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import Dataset, DatasetCatalog, raw_file_name
+from repro.data.spatial_object import SpatialObject
+from repro.geometry.box import Box
+
+from tests.conftest import make_catalog, make_dataset, make_object, make_random_objects
+
+
+class TestDatasetCreate:
+    def test_create_and_scan_roundtrip(self, disk, universe):
+        objects = make_random_objects(universe, 500, dataset_id=1, seed=3)
+        dataset = Dataset.create(disk, 1, "ds1", objects, universe)
+        assert dataset.n_objects == 500
+        scanned = dataset.read_all()
+        assert {o.key() for o in scanned} == {o.key() for o in objects}
+
+    def test_create_rejects_wrong_dataset_id(self, disk, universe):
+        objects = [make_object(0, dataset_id=9, center=(1.0, 1.0, 1.0))]
+        with pytest.raises(ValueError):
+            Dataset.create(disk, 1, "bad", objects, universe)
+
+    def test_create_rejects_object_outside_universe(self, disk, universe):
+        outside = SpatialObject(
+            oid=0, dataset_id=0, box=Box((200.0, 200.0, 200.0), (201.0, 201.0, 201.0))
+        )
+        with pytest.raises(ValueError):
+            Dataset.create(disk, 0, "bad", [outside], universe)
+
+    def test_create_twice_same_name_fails(self, disk, universe):
+        make_dataset(disk, universe, dataset_id=0, count=10, name="dup")
+        with pytest.raises(ValueError):
+            make_dataset(disk, universe, dataset_id=0, count=10, name="dup")
+
+    def test_empty_dataset(self, disk, universe):
+        dataset = Dataset.create(disk, 0, "empty", [], universe)
+        assert dataset.n_objects == 0
+        assert dataset.read_all() == []
+        assert dataset.size_pages() >= 0
+
+    def test_open_existing(self, disk, universe):
+        created = make_dataset(disk, universe, dataset_id=2, count=120, name="reopen")
+        reopened = Dataset.open(disk, 2, "reopen", universe)
+        assert reopened.n_objects == created.n_objects
+
+    def test_open_missing_fails(self, disk, universe):
+        with pytest.raises(ValueError):
+            Dataset.open(disk, 0, "nope", universe)
+
+    def test_scan_charges_sequential_io(self, disk, universe):
+        dataset = make_dataset(disk, universe, count=400)
+        disk.reset_head()
+        before = disk.stats.snapshot()
+        dataset.read_all()
+        delta = disk.stats.delta_since(before)
+        assert delta.pages_read == dataset.size_pages()
+        assert delta.seeks == 1  # one sequential pass
+
+    def test_range_query_scan_is_correct(self, disk, universe):
+        dataset = make_dataset(disk, universe, count=300, seed=5)
+        query = Box.cube((50.0, 50.0, 50.0), 30.0)
+        expected = {o.key() for o in dataset.read_all() if o.intersects(query)}
+        got = {o.key() for o in dataset.range_query_scan(query)}
+        assert got == expected
+
+    def test_raw_file_name_convention(self):
+        assert raw_file_name("abc") == "raw/abc.dat"
+
+
+class TestDatasetCatalog:
+    def test_lookup_and_ordering(self, disk, universe):
+        catalog = make_catalog(disk, universe, n_datasets=3, count=50)
+        assert catalog.dataset_ids() == [0, 1, 2]
+        assert len(catalog) == 3
+        assert catalog.get(1).dataset_id == 1
+        assert [d.dataset_id for d in catalog] == [0, 1, 2]
+
+    def test_unknown_id_raises(self, disk, universe):
+        catalog = make_catalog(disk, universe, n_datasets=2, count=20)
+        with pytest.raises(KeyError):
+            catalog.get(99)
+
+    def test_subset_validates_ids(self, disk, universe):
+        catalog = make_catalog(disk, universe, n_datasets=3, count=20)
+        assert [d.dataset_id for d in catalog.subset([2, 0])] == [2, 0]
+        with pytest.raises(KeyError):
+            catalog.subset([5])
+
+    def test_totals(self, disk, universe):
+        catalog = make_catalog(disk, universe, n_datasets=3, count=40)
+        assert catalog.total_objects() == 120
+        assert catalog.total_pages() > 0
+
+    def test_duplicate_ids_rejected(self, disk, universe):
+        a = make_dataset(disk, universe, dataset_id=0, count=10, name="a")
+        b = make_dataset(disk, universe, dataset_id=0, count=10, name="b")
+        with pytest.raises(ValueError):
+            DatasetCatalog([a, b])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetCatalog([])
+
+    def test_universe_is_bounding_box(self, disk, universe):
+        catalog = make_catalog(disk, universe, n_datasets=2, count=20)
+        assert catalog.universe.contains_box(universe)
+        assert catalog.dimension == 3

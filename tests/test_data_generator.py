@@ -1,0 +1,160 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    ClusteredBoxGenerator,
+    GeneratorProfile,
+    NeuroscienceDatasetGenerator,
+    UniformBoxGenerator,
+    brain_universe,
+    derived_rng,
+)
+from repro.data.suite import build_benchmark_suite
+from repro.geometry.box import Box
+
+
+@pytest.fixture
+def universe() -> Box:
+    return brain_universe(dimension=3, side=1000.0)
+
+
+class TestHelpers:
+    def test_brain_universe(self):
+        box = brain_universe(dimension=2, side=10.0)
+        assert box == Box((0.0, 0.0), (10.0, 10.0))
+        with pytest.raises(ValueError):
+            brain_universe(side=-1)
+
+    def test_derived_rng_is_deterministic(self):
+        a = derived_rng(7, "x", 3).integers(1_000_000)
+        b = derived_rng(7, "x", 3).integers(1_000_000)
+        c = derived_rng(7, "y", 3).integers(1_000_000)
+        assert a == b
+        assert a != c
+
+    def test_generator_profile_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile(object_extent_fraction=0)
+        with pytest.raises(ValueError):
+            GeneratorProfile(extent_jitter=1.0)
+
+
+class TestUniformGenerator:
+    def test_objects_inside_universe(self, universe):
+        gen = UniformBoxGenerator(universe, seed=1)
+        objects = list(gen.objects(dataset_id=0, count=200))
+        assert len(objects) == 200
+        assert all(universe.contains_box(o.box) for o in objects)
+        assert all(o.dataset_id == 0 for o in objects)
+        assert len({o.oid for o in objects}) == 200
+
+    def test_deterministic_per_seed_and_dataset(self, universe):
+        gen_a = UniformBoxGenerator(universe, seed=1)
+        gen_b = UniformBoxGenerator(universe, seed=1)
+        a = list(gen_a.objects(0, 20))
+        b = list(gen_b.objects(0, 20))
+        assert a == b
+        different = list(gen_a.objects(1, 20))
+        assert different != a
+
+
+class TestClusteredGenerator:
+    def test_objects_concentrate_near_centers(self, universe):
+        gen = ClusteredBoxGenerator(universe, seed=2, n_clusters=3, cluster_sigma_fraction=0.02)
+        objects = list(gen.objects(0, 300))
+        centers = gen.cluster_centers
+        near = 0
+        for obj in objects:
+            distances = np.linalg.norm(centers - np.asarray(obj.center), axis=1)
+            if distances.min() < 0.15 * 1000:
+                near += 1
+        assert near / len(objects) > 0.9
+
+    def test_cluster_centers_shared_across_datasets(self, universe):
+        gen = ClusteredBoxGenerator(universe, seed=2, n_clusters=4)
+        assert np.allclose(gen.cluster_centers, gen.cluster_centers)
+
+    def test_validation(self, universe):
+        with pytest.raises(ValueError):
+            ClusteredBoxGenerator(universe, seed=1, n_clusters=0)
+        with pytest.raises(ValueError):
+            ClusteredBoxGenerator(universe, seed=1, cluster_sigma_fraction=0)
+
+
+class TestNeuroscienceGenerator:
+    def test_generates_requested_count(self, universe):
+        gen = NeuroscienceDatasetGenerator(universe, seed=3)
+        objects = list(gen.objects(0, 500))
+        assert len(objects) == 500
+        assert all(universe.contains_box(o.box) for o in objects)
+
+    def test_spatial_skew_around_microcircuits(self, universe):
+        gen = NeuroscienceDatasetGenerator(
+            universe, seed=3, n_microcircuits=4, microcircuit_sigma_fraction=0.03
+        )
+        objects = list(gen.objects(0, 400))
+        centers = gen.microcircuit_centers
+        near = 0
+        for obj in objects:
+            distances = np.linalg.norm(centers - np.asarray(obj.center), axis=1)
+            if distances.min() < 0.25 * 1000:
+                near += 1
+        assert near / len(objects) > 0.85
+
+    def test_validation(self, universe):
+        with pytest.raises(ValueError):
+            NeuroscienceDatasetGenerator(universe, seed=1, n_microcircuits=0)
+        with pytest.raises(ValueError):
+            NeuroscienceDatasetGenerator(universe, seed=1, segments_per_neuron=0)
+        with pytest.raises(ValueError):
+            NeuroscienceDatasetGenerator(universe, seed=1, branch_probability=2.0)
+
+    def test_generate_datasets_creates_raw_files(self, universe, disk):
+        gen = NeuroscienceDatasetGenerator(universe, seed=5)
+        datasets = gen.generate_datasets(disk, n_datasets=2, objects_per_dataset=150)
+        assert len(datasets) == 2
+        assert all(d.n_objects == 150 for d in datasets)
+        assert datasets[0].dataset_id != datasets[1].dataset_id
+
+
+class TestBenchmarkSuite:
+    def test_build_benchmark_suite(self):
+        suite = build_benchmark_suite(n_datasets=3, objects_per_dataset=120, seed=1)
+        assert len(suite.catalog) == 3
+        assert suite.catalog.total_objects() == 360
+        assert suite.universe.dimension == 3
+
+    def test_suite_is_deterministic(self):
+        a = build_benchmark_suite(n_datasets=2, objects_per_dataset=80, seed=9)
+        b = build_benchmark_suite(n_datasets=2, objects_per_dataset=80, seed=9)
+        objs_a = a.catalog.get(0).read_all()
+        objs_b = b.catalog.get(0).read_all()
+        assert objs_a == objs_b
+
+    def test_fork_creates_independent_copy(self):
+        suite = build_benchmark_suite(n_datasets=2, objects_per_dataset=60, seed=4)
+        fork = suite.fork()
+        assert fork.disk is not suite.disk
+        assert fork.catalog.total_objects() == suite.catalog.total_objects()
+        # Mutating the fork's disk does not affect the master.
+        fork.disk.create_file("scratch")
+        assert not suite.disk.file_exists("scratch")
+        # The fork starts with fresh I/O accounting.
+        assert fork.disk.stats.pages_read == 0
+
+    def test_fork_preserves_data(self):
+        suite = build_benchmark_suite(n_datasets=1, objects_per_dataset=70, seed=4)
+        fork = suite.fork()
+        assert {o.key() for o in fork.catalog.get(0).read_all()} == {
+            o.key() for o in suite.catalog.get(0).read_all()
+        }
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            build_benchmark_suite(n_datasets=0)
+        with pytest.raises(ValueError):
+            build_benchmark_suite(objects_per_dataset=0)

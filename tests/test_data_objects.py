@@ -1,0 +1,32 @@
+"""Unit tests for SpatialObject."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.spatial_object import SpatialObject
+from repro.geometry.box import Box
+
+
+class TestSpatialObject:
+    def test_basic_properties(self):
+        obj = SpatialObject(oid=5, dataset_id=2, box=Box((0.0, 0.0), (2.0, 4.0)))
+        assert obj.center == (1.0, 2.0)
+        assert obj.dimension == 2
+        assert obj.key() == (2, 5)
+
+    def test_intersects_delegates_to_box(self):
+        obj = SpatialObject(oid=0, dataset_id=0, box=Box((0.0,), (1.0,)))
+        assert obj.intersects(Box((0.5,), (2.0,)))
+        assert not obj.intersects(Box((1.5,), (2.0,)))
+
+    def test_immutability(self):
+        obj = SpatialObject(oid=0, dataset_id=0, box=Box((0.0,), (1.0,)))
+        with pytest.raises(AttributeError):
+            obj.oid = 1  # type: ignore[misc]
+
+    def test_equality_and_hashing(self):
+        a = SpatialObject(oid=1, dataset_id=0, box=Box((0.0,), (1.0,)))
+        b = SpatialObject(oid=1, dataset_id=0, box=Box((0.0,), (1.0,)))
+        assert a == b
+        assert len({a, b}) == 1

@@ -1,0 +1,72 @@
+"""Unit tests for random box/point sampling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.random_boxes import (
+    random_box_with_volume,
+    random_point_in_box,
+    sample_boxes,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def universe() -> Box:
+    return Box((0.0, 0.0, 0.0), (10.0, 20.0, 30.0))
+
+
+class TestRandomPoint:
+    def test_point_inside_universe(self, rng, universe):
+        for _ in range(50):
+            point = random_point_in_box(rng, universe)
+            assert universe.contains_point(point)
+
+    def test_reproducible_with_same_seed(self, universe):
+        a = random_point_in_box(np.random.default_rng(1), universe)
+        b = random_point_in_box(np.random.default_rng(1), universe)
+        assert a == b
+
+
+class TestRandomBoxWithVolume:
+    def test_volume_matches_fraction(self, rng, universe):
+        box = random_box_with_volume(rng, universe, 1e-3, center=universe.center)
+        assert box.volume() == pytest.approx(universe.volume() * 1e-3, rel=1e-6)
+
+    def test_clamped_to_universe(self, rng, universe):
+        # A centre on the corner forces clamping.
+        box = random_box_with_volume(rng, universe, 1e-2, center=universe.lo)
+        assert universe.contains_box(box)
+
+    def test_rejects_bad_fraction(self, rng, universe):
+        with pytest.raises(ValueError):
+            random_box_with_volume(rng, universe, 0.0)
+        with pytest.raises(ValueError):
+            random_box_with_volume(rng, universe, 1.5)
+
+    def test_aspect_jitter_keeps_volume_close(self, rng, universe):
+        box = random_box_with_volume(
+            rng, universe, 1e-3, center=universe.center, aspect_jitter=0.3
+        )
+        assert box.volume() == pytest.approx(universe.volume() * 1e-3, rel=0.05)
+
+
+class TestSampleBoxes:
+    def test_count_and_containment(self, rng, universe):
+        boxes = sample_boxes(rng, universe, 25)
+        assert len(boxes) == 25
+        assert all(universe.contains_box(box) for box in boxes)
+
+    def test_zero_count(self, rng, universe):
+        assert sample_boxes(rng, universe, 0) == []
+
+    def test_negative_count_rejected(self, rng, universe):
+        with pytest.raises(ValueError):
+            sample_boxes(rng, universe, -1)

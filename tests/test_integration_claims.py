@@ -1,0 +1,187 @@
+"""Integration tests for the paper's qualitative claims (DESIGN.md C1–C7).
+
+These run miniature versions of the paper's experiments and check the
+*shape* of the results — who wins, in which order, where the crossovers are.
+Absolute values depend on the simulated disk model and the reduced scale
+and are reported (not asserted) in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.interface import BruteForceScan, result_keys
+from repro.bench.approaches import make_approach
+from repro.bench.experiments import build_suite, build_workload
+from repro.bench.runner import run_approach
+from repro.bench.scales import SCALES
+
+
+@pytest.fixture(scope="module")
+def scale():
+    """A reduced scale that still exhibits the paper's qualitative behaviour."""
+    return SCALES["tiny"].scaled(n_queries=50)
+
+
+@pytest.fixture(scope="module")
+def suite(scale):
+    return build_suite(scale)
+
+
+@pytest.fixture(scope="module")
+def clustered_zipf_workload(suite, scale):
+    return build_workload(
+        suite,
+        scale,
+        ranges="clustered",
+        ids_distribution="zipf",
+        datasets_per_query=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(suite, scale, clustered_zipf_workload):
+    """Run the Figure 4 approaches once and share the results across tests."""
+    results = {}
+    for name in ("FLAT-Ain1", "RTree-Ain1", "Grid-1fE", "Odyssey"):
+        fork = suite.fork()
+        approach = make_approach(name, fork, scale)
+        results[name] = run_approach(approach, clustered_zipf_workload, fork.disk)
+    return results
+
+
+class TestClaimC1DataToQueryTime:
+    def test_static_builds_exceed_odyssey_total_workload(self, runs):
+        """Building FLAT (or the R-tree) costs more than Space Odyssey needs
+        to answer the entire workload (paper: at least 2x)."""
+        odyssey_total = runs["Odyssey"].total_seconds
+        assert runs["FLAT-Ain1"].indexing_seconds > 1.5 * odyssey_total
+        assert runs["RTree-Ain1"].indexing_seconds > 1.5 * odyssey_total
+
+    def test_odyssey_needs_no_upfront_indexing(self, runs):
+        assert runs["Odyssey"].indexing_seconds == 0.0
+
+
+class TestClaimC2BuildOrdering:
+    def test_flat_is_slowest_build_and_grid_fastest(self, runs):
+        builds = {name: run.indexing_seconds for name, run in runs.items() if name != "Odyssey"}
+        assert builds["FLAT-Ain1"] >= builds["RTree-Ain1"]
+        assert builds["Grid-1fE"] == min(builds.values())
+
+    def test_flat_build_much_slower_than_grid(self, runs):
+        assert runs["FLAT-Ain1"].indexing_seconds > 3 * runs["Grid-1fE"].indexing_seconds
+
+
+class TestClaimC3QueryOrdering:
+    def test_flat_queries_fastest_once_built(self, runs):
+        """Once built, FLAT answers individual queries fastest (paper C3).
+
+        At the reduced test scale the gap between FLAT and the Grid narrows
+        (sparse data means most Grid cells are empty and free to skip), so
+        the assertion allows a margin; the full separation is visible at the
+        ``small``/``medium`` scales and recorded in EXPERIMENTS.md.
+        """
+        flat = runs["FLAT-Ain1"].querying_seconds
+        assert flat <= runs["Odyssey"].querying_seconds
+        assert flat <= runs["Grid-1fE"].querying_seconds * 1.6
+
+
+class TestClaimC5Convergence:
+    def test_first_query_is_most_expensive_and_times_converge(self, runs):
+        per_query = runs["Odyssey"].per_query_seconds()
+        assert per_query[0] == max(per_query)
+        tail = per_query[-10:]
+        assert max(tail) < per_query[0] / 3
+
+    def test_converged_queries_close_to_static_indexes(self, runs):
+        odyssey_tail = sum(runs["Odyssey"].per_query_seconds()[-10:]) / 10
+        flat_tail = sum(runs["FLAT-Ain1"].per_query_seconds()[-10:]) / 10
+        assert odyssey_tail < 20 * flat_tail
+
+
+class TestClaimC6UniformWorstCase:
+    def test_uniform_uniform_erodes_odyssey_advantage(self, suite, scale):
+        """With uniform ranges and uniform dataset ids (Fig. 4d) the adaptive
+        mechanisms cannot exploit skew: Grid's total time beats Odyssey's."""
+        workload = build_workload(
+            suite,
+            scale,
+            ranges="uniform",
+            ids_distribution="uniform",
+            datasets_per_query=3,
+            seed_offset=3,
+        )
+        totals = {}
+        for name in ("Grid-1fE", "Odyssey"):
+            fork = suite.fork()
+            approach = make_approach(name, fork, scale)
+            totals[name] = run_approach(approach, workload, fork.disk).total_seconds
+        assert totals["Grid-1fE"] < totals["Odyssey"]
+
+
+class TestClaimC7MergingBenefit:
+    def test_merging_reduces_steady_state_time_for_hot_combination(self, suite, scale):
+        """Repeatedly querying the same areas of a 3-dataset combination is
+        cheaper with merging than without (Fig. 5c), once the merge file has
+        been populated (the paper likewise reports the gain on queries that
+        access the merged partitions)."""
+        from repro.bench.approaches import odyssey_config_for
+        from repro.core.odyssey import SpaceOdyssey
+        from repro.geometry.box import Box
+
+        centers = suite.generator.microcircuit_centers[:4]
+        query_side = (suite.universe.volume() * scale.query_volume_fraction) ** (1 / 3)
+        hot_boxes = [
+            Box.cube(tuple(center), query_side).clamp(suite.universe) for center in centers
+        ]
+        combination = [0, 1, 2]
+        warmup_rounds, measured_rounds = 4, 8
+        totals = {}
+        for enable_merging in (True, False):
+            fork = suite.fork()
+            odyssey = SpaceOdyssey(
+                fork.catalog, odyssey_config_for(scale, enable_merging=enable_merging)
+            )
+            for _ in range(warmup_rounds):
+                for box in hot_boxes:
+                    fork.disk.clear_cache()
+                    fork.disk.reset_head()
+                    odyssey.query(box, combination)
+            before = fork.disk.stats.snapshot()
+            for _ in range(measured_rounds):
+                for box in hot_boxes:
+                    fork.disk.clear_cache()
+                    fork.disk.reset_head()
+                    odyssey.query(box, combination)
+            totals[enable_merging] = fork.disk.stats.delta_since(before).simulated_seconds
+            if enable_merging:
+                assert odyssey.merger.merges_performed >= 1
+        assert totals[True] < totals[False]
+
+    def test_figure5c_merging_not_harmful_at_test_scale(self, scale):
+        """The full Figure 5c pipeline runs end to end and merging does not
+        make the popular combination substantially slower even at the very
+        small test scale (the positive ~15-25% gain appears at the
+        benchmark scales; see EXPERIMENTS.md)."""
+        from repro.bench.experiments import figure5c
+
+        result = figure5c(scale=scale.scaled(n_queries=60), datasets_per_query=3)
+        assert result.popular_query_count > 10
+        assert result.merges_performed >= 1
+        assert result.total_gain_percent > -10.0
+
+
+class TestEndToEndCorrectness:
+    def test_all_approaches_agree_with_oracle_on_shared_workload(
+        self, suite, scale, clustered_zipf_workload
+    ):
+        queries = list(clustered_zipf_workload)[:15]
+        for name in ("FLAT-Ain1", "Grid-1fE", "RTree-Ain1", "Odyssey"):
+            fork = suite.fork()
+            approach = make_approach(name, fork, scale)
+            approach.build()
+            oracle = BruteForceScan(fork.catalog)
+            for query in queries:
+                assert result_keys(approach.query(query.box, query.dataset_ids)) == result_keys(
+                    oracle.query(query.box, query.dataset_ids)
+                ), f"{name} disagrees with the oracle on query {query.qid}"

@@ -1,0 +1,252 @@
+"""Property-based tests (Hypothesis) for core data structures and invariants.
+
+These cover the invariants DESIGN.md commits to:
+
+* geometric identities of :class:`Box`;
+* binary codec round-trips;
+* PagedFile group writes never lose or duplicate records, with or without
+  in-place page reuse;
+* every index (Grid, R-tree, FLAT, Space Odyssey) answers exactly like the
+  brute-force oracle on randomly generated data and query sequences;
+* the partition tree never loses objects across arbitrary refinement.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.flat import FLATIndex
+from repro.baselines.grid import GridIndex
+from repro.baselines.interface import result_keys
+from repro.baselines.rtree import STRRTree
+from repro.core.adaptor import Adaptor
+from repro.core.config import OdysseyConfig
+from repro.core.odyssey import SpaceOdyssey
+from repro.data.dataset import Dataset, DatasetCatalog
+from repro.data.spatial_object import SpatialObject, spatial_object_codec
+from repro.geometry.box import Box
+from repro.storage.codec import FixedRecordCodec
+from repro.storage.cost_model import DiskModel
+from repro.storage.disk import Disk
+from repro.storage.pagedfile import PagedFile
+
+UNIVERSE = Box((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+
+coordinates = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+extents = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw, dimension: int = 3) -> Box:
+    center = [draw(coordinates) for _ in range(dimension)]
+    sides = [draw(extents) for _ in range(dimension)]
+    return Box.from_center(center, sides).clamp(UNIVERSE)
+
+
+@st.composite
+def spatial_objects(draw, dataset_id: int = 0) -> SpatialObject:
+    oid = draw(st.integers(min_value=0, max_value=2**40))
+    return SpatialObject(oid=oid, dataset_id=dataset_id, box=draw(boxes()))
+
+
+def object_lists(min_size=0, max_size=120):
+    return st.lists(spatial_objects(), min_size=min_size, max_size=max_size)
+
+
+class TestBoxProperties:
+    @given(boxes(), boxes())
+    def test_intersection_symmetry(self, a: Box, b: Box):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(boxes(), boxes())
+    def test_intersection_volume_never_exceeds_operands(self, a: Box, b: Box):
+        overlap = a.intersection(b)
+        if overlap is None:
+            assert not a.intersects(b)
+        else:
+            assert overlap.volume() <= min(a.volume(), b.volume()) + 1e-9
+            assert a.intersects(b)
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a: Box, b: Box):
+        union = a.union(b)
+        assert union.contains_box(a)
+        assert union.contains_box(b)
+
+    @given(boxes(), st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+    def test_expand_then_clamp_contains_original_clamped(self, box: Box, amount: float):
+        expanded = box.expand(amount).clamp(UNIVERSE)
+        assert expanded.contains_box(box.clamp(UNIVERSE))
+
+    @given(boxes(), st.integers(min_value=1, max_value=4))
+    def test_split_grid_partitions_volume(self, box: Box, cells: int):
+        children = box.split_grid(cells)
+        assert len(children) == cells**3
+        assert sum(child.volume() for child in children) == pytest.approx(
+            box.volume(), rel=1e-6, abs=1e-9
+        )
+
+    @given(boxes(), boxes(), st.integers(min_value=1, max_value=5))
+    def test_grid_cells_overlapping_is_superset_of_exact(
+        self, box: Box, query: Box, cells: int
+    ):
+        exact = {
+            index
+            for index, child in enumerate(box.split_grid(cells))
+            if child.intersects(query)
+        }
+        listed = set(box.grid_cells_overlapping(query, cells))
+        assert exact <= listed
+
+
+class TestCodecProperties:
+    @given(spatial_objects())
+    def test_spatial_object_roundtrip(self, obj: SpatialObject):
+        codec = spatial_object_codec(3)
+        assert codec.unpack(codec.pack(obj)) == obj
+
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=300))
+    def test_paged_file_roundtrip(self, records: list[int]):
+        codec = FixedRecordCodec("<q", lambda v: (v,), lambda f: f[0])
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        file: PagedFile[int] = PagedFile(disk, "prop.dat", codec)
+        run = file.append_group(records)
+        assert sorted(file.read_group(run)) == sorted(records)
+
+
+class TestWriteGroupsProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=10**9), max_size=80),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_groups_roundtrip_with_reuse(self, groups: list[list[int]]):
+        codec = FixedRecordCodec("<q", lambda v: (v,), lambda f: f[0])
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        file: PagedFile[int] = PagedFile(disk, "prop2.dat", codec)
+        parent = file.append_group(list(range(500)))
+        runs = file.write_groups(groups, reuse=parent.extents)
+        assert len(runs) == len(groups)
+        for group, run in zip(groups, runs):
+            assert sorted(file.read_group(run)) == sorted(group)
+        # No two groups share a page.
+        seen: set[int] = set()
+        for run in runs:
+            pages = set(run.page_numbers())
+            assert pages.isdisjoint(seen)
+            seen |= pages
+
+
+def _brute_force(objects: list[SpatialObject], query: Box) -> set[tuple[int, int]]:
+    return {o.key() for o in objects if o.intersects(query)}
+
+
+class TestIndexCorrectnessProperties:
+    @given(object_lists(min_size=1), st.lists(boxes(), min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_grid_matches_bruteforce(self, objects, queries):
+        objects = _dedupe(objects)
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        dataset = Dataset.create(disk, 0, "prop_grid", objects, UNIVERSE)
+        index = GridIndex(disk, "prop_grid_idx", UNIVERSE, cells_per_dim=3)
+        index.build([dataset])
+        for query in queries:
+            assert result_keys(index.query(query)) == _brute_force(objects, query)
+
+    @given(object_lists(min_size=1), st.lists(boxes(), min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_rtree_matches_bruteforce(self, objects, queries):
+        objects = _dedupe(objects)
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        dataset = Dataset.create(disk, 0, "prop_rtree", objects, UNIVERSE)
+        index = STRRTree(disk, "prop_rtree_idx", UNIVERSE)
+        index.build([dataset])
+        for query in queries:
+            assert result_keys(index.query(query)) == _brute_force(objects, query)
+
+    @given(object_lists(min_size=1), st.lists(boxes(), min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_flat_matches_bruteforce(self, objects, queries):
+        objects = _dedupe(objects)
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        dataset = Dataset.create(disk, 0, "prop_flat", objects, UNIVERSE)
+        index = FLATIndex(disk, "prop_flat_idx", UNIVERSE)
+        index.build([dataset])
+        for query in queries:
+            assert result_keys(index.query(query)) == _brute_force(objects, query)
+
+    @given(
+        st.lists(object_lists(min_size=1, max_size=60), min_size=2, max_size=3),
+        st.lists(boxes(), min_size=2, max_size=6),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_odyssey_matches_bruteforce_over_query_sequence(
+        self, per_dataset_objects, queries, rng
+    ):
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        datasets = []
+        all_objects: dict[int, list[SpatialObject]] = {}
+        for dataset_id, objects in enumerate(per_dataset_objects):
+            objects = [
+                SpatialObject(oid=o.oid, dataset_id=dataset_id, box=o.box)
+                for o in _dedupe(objects)
+            ]
+            all_objects[dataset_id] = objects
+            datasets.append(
+                Dataset.create(disk, dataset_id, f"prop_ody_{dataset_id}", objects, UNIVERSE)
+            )
+        catalog = DatasetCatalog(datasets)
+        odyssey = SpaceOdyssey(
+            catalog,
+            OdysseyConfig(
+                partitions_per_level=8,
+                merge_threshold=1,
+                min_merge_combination=2,
+                merge_partition_min_hits=1,
+                merge_only_converged=False,
+            ),
+        )
+        ids = list(all_objects)
+        for query in queries:
+            requested = rng.sample(ids, k=rng.randint(1, len(ids)))
+            expected = set()
+            for dataset_id in requested:
+                expected |= _brute_force(all_objects[dataset_id], query)
+            assert result_keys(odyssey.query(query, requested)) == expected
+
+
+class TestPartitionTreeProperties:
+    @given(object_lists(min_size=1, max_size=150), st.lists(boxes(), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_refinement_never_loses_objects(self, objects, queries):
+        objects = _dedupe(objects)
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        dataset = Dataset.create(disk, 0, "prop_tree", objects, UNIVERSE)
+        config = OdysseyConfig(partitions_per_level=8)
+        adaptor = Adaptor(config)
+        tree = adaptor.create_tree(dataset)
+        adaptor.initialize(tree)
+        for query in queries:
+            for leaf in tree.leaves_overlapping(query):
+                adaptor.maybe_refine(tree, leaf, query)
+        assert tree.total_stored_objects() == len(objects)
+        # Every object is stored in the leaf whose region contains its centre.
+        for leaf in tree.leaves():
+            for obj in tree.read_partition(leaf):
+                assert leaf.box.contains_point(obj.center)
+
+
+def _dedupe(objects: list[SpatialObject]) -> list[SpatialObject]:
+    """Ensure unique oids (generated oids may collide)."""
+    return [
+        SpatialObject(oid=index, dataset_id=obj.dataset_id, box=obj.box)
+        for index, obj in enumerate(objects)
+    ]

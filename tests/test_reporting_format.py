@@ -1,0 +1,113 @@
+"""Tests for the report formatting helpers (text tables and JSON dumps)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import reporting
+from repro.bench.experiments import (
+    Figure4Cell,
+    Figure4Point,
+    Figure4Result,
+    Figure5Result,
+    Figure5Series,
+    Figure5cResult,
+)
+
+
+@pytest.fixture
+def figure4_result() -> Figure4Result:
+    result = Figure4Result(
+        ids_distribution="zipf",
+        ranges="clustered",
+        scale="small",
+        n_queries=100,
+        approaches=("Grid-1fE", "Odyssey"),
+    )
+    point = Figure4Point(datasets_queried=3, combinations_queried=17)
+    point.cells["Grid-1fE"] = Figure4Cell("Grid-1fE", indexing_seconds=1.5, querying_seconds=0.5)
+    point.cells["Odyssey"] = Figure4Cell("Odyssey", indexing_seconds=0.0, querying_seconds=0.9)
+    point.odyssey_queries_within_grid_build = 42
+    result.points.append(point)
+    return result
+
+
+@pytest.fixture
+def figure5_result() -> Figure5Result:
+    result = Figure5Result(
+        label="fig5a",
+        ranges="clustered",
+        ids_distribution="self_similar",
+        datasets_per_query=5,
+        scale="small",
+    )
+    result.series["Odyssey"] = Figure5Series(
+        approach="Odyssey",
+        indexing_seconds=0.0,
+        per_query_seconds=[0.5, 0.1, 0.05, 0.04, 0.04],
+    )
+    return result
+
+
+class TestFigure4Formatting:
+    def test_table_contains_all_sections(self, figure4_result):
+        table = reporting.format_figure4_table(figure4_result)
+        assert "[indexing]" in table
+        assert "[querying]" in table
+        assert "[total]" in table
+        assert "3 (17)" in table
+        assert "42 of 100" in table
+
+    def test_cell_totals(self):
+        cell = Figure4Cell("x", indexing_seconds=1.0, querying_seconds=2.5)
+        assert cell.total_seconds == pytest.approx(3.5)
+
+    def test_point_lookup_helpers(self, figure4_result):
+        point = figure4_result.point(3)
+        assert point.total("Grid-1fE") == pytest.approx(2.0)
+        assert point.total("Odyssey") == pytest.approx(0.9)
+
+
+class TestFigure5Formatting:
+    def test_summary_lists_series(self, figure5_result):
+        text = reporting.format_figure5_summary(figure5_result)
+        assert "Odyssey" in text
+        assert "fig5a" in text
+
+    def test_series_statistics(self, figure5_result):
+        series = figure5_result.get("Odyssey")
+        assert series.total_seconds == pytest.approx(0.73)
+        assert series.tail_mean(fraction=0.4) == pytest.approx(0.04)
+
+    def test_figure5c_summary_and_gains(self):
+        result = Figure5cResult(
+            scale="small",
+            popular_combination=(0, 1, 2),
+            popular_query_count=10,
+            with_merging=[0.8, 0.7],
+            without_merging=[1.0, 1.0],
+            merges_performed=2,
+            merge_files=1,
+        )
+        assert result.average_gain_percent == pytest.approx(25.0)
+        assert result.total_gain_percent == pytest.approx(25.0)
+        text = reporting.format_figure5c_summary(result)
+        assert "25.0%" in text
+
+    def test_figure5c_empty_gain_is_zero(self):
+        result = Figure5cResult(
+            scale="small", popular_combination=(0, 1, 2), popular_query_count=0
+        )
+        assert result.average_gain_percent == 0.0
+        assert result.total_gain_percent == 0.0
+
+
+class TestJsonConversion:
+    def test_nested_dataclasses_and_sets(self, figure4_result):
+        payload = reporting.to_jsonable({"result": figure4_result, "ids": frozenset({1, 2})})
+        text = json.dumps(payload)
+        decoded = json.loads(text)
+        assert decoded["result"]["ids_distribution"] == "zipf"
+        assert sorted(decoded["ids"]) == [1, 2]

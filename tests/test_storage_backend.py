@@ -1,0 +1,110 @@
+"""Unit tests for the page storage backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.backend import FileSystemBackend, InMemoryBackend, StorageError
+
+
+@pytest.fixture(params=["memory", "filesystem"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryBackend(page_size=256)
+    return FileSystemBackend(tmp_path, page_size=256)
+
+
+class TestFileLifecycle:
+    def test_create_and_exists(self, backend):
+        assert not backend.exists("a")
+        backend.create("a")
+        assert backend.exists("a")
+        assert backend.num_pages("a") == 0
+
+    def test_create_twice_fails(self, backend):
+        backend.create("a")
+        with pytest.raises(StorageError):
+            backend.create("a")
+
+    def test_delete(self, backend):
+        backend.create("a")
+        backend.delete("a")
+        assert not backend.exists("a")
+
+    def test_delete_missing_fails(self, backend):
+        with pytest.raises(StorageError):
+            backend.delete("missing")
+
+    def test_list_files_sorted(self, backend):
+        for name in ("b", "a", "c"):
+            backend.create(name)
+        listed = backend.list_files()
+        assert listed == sorted(listed)
+        assert len(listed) == 3
+
+
+class TestPageAccess:
+    def test_append_and_read(self, backend):
+        backend.create("f")
+        page_no = backend.append("f", b"hello")
+        assert page_no == 0
+        data = backend.read("f", 0)
+        assert data.startswith(b"hello")
+        assert len(data) == 256
+
+    def test_append_returns_increasing_page_numbers(self, backend):
+        backend.create("f")
+        numbers = [backend.append("f", bytes([i])) for i in range(5)]
+        assert numbers == [0, 1, 2, 3, 4]
+        assert backend.num_pages("f") == 5
+
+    def test_write_overwrites_in_place(self, backend):
+        backend.create("f")
+        backend.append("f", b"old")
+        backend.write("f", 0, b"new")
+        assert backend.read("f", 0).startswith(b"new")
+        assert backend.num_pages("f") == 1
+
+    def test_read_out_of_range(self, backend):
+        backend.create("f")
+        with pytest.raises(StorageError):
+            backend.read("f", 0)
+
+    def test_write_out_of_range(self, backend):
+        backend.create("f")
+        with pytest.raises(StorageError):
+            backend.write("f", 3, b"x")
+
+    def test_oversized_page_rejected(self, backend):
+        backend.create("f")
+        with pytest.raises(StorageError):
+            backend.append("f", bytes(1000))
+
+    def test_read_missing_file(self, backend):
+        with pytest.raises(StorageError):
+            backend.read("missing", 0)
+
+
+class TestClone:
+    def test_clone_copies_contents(self, backend):
+        backend.create("f")
+        backend.append("f", b"abc")
+        copy = backend.clone()
+        assert copy.exists("f")
+        assert copy.read("f", 0).startswith(b"abc")
+
+    def test_clone_is_independent(self, backend):
+        backend.create("f")
+        backend.append("f", b"abc")
+        copy = backend.clone()
+        copy.append("f", b"extra")
+        assert backend.num_pages("f") == 1
+        assert copy.num_pages("f") == 2
+
+
+def test_filesystem_backend_sanitises_names(tmp_path):
+    backend = FileSystemBackend(tmp_path, page_size=128)
+    backend.create("raw/with:odd chars")
+    assert backend.exists("raw/with:odd chars")
+    backend.append("raw/with:odd chars", b"x")
+    assert backend.num_pages("raw/with:odd chars") == 1

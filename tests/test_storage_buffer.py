@@ -1,0 +1,82 @@
+"""Unit tests for the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+
+
+class TestBasicOperations:
+    def test_get_miss_returns_none(self):
+        pool = BufferPool(4)
+        assert pool.get("f", 0) is None
+        assert pool.misses == 1
+
+    def test_put_then_get(self):
+        pool = BufferPool(4)
+        pool.put("f", 0, b"data")
+        assert pool.get("f", 0) == b"data"
+        assert pool.hits == 1
+
+    def test_len_and_contains(self):
+        pool = BufferPool(4)
+        pool.put("f", 1, b"x")
+        assert len(pool) == 1
+        assert ("f", 1) in pool
+        assert ("f", 2) not in pool
+
+    def test_zero_capacity_disables_caching(self):
+        pool = BufferPool(0)
+        pool.put("f", 0, b"x")
+        assert pool.get("f", 0) is None
+        assert len(pool) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(-1)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.put("f", 0, b"a")
+        pool.put("f", 1, b"b")
+        pool.get("f", 0)  # page 0 becomes most recently used
+        pool.put("f", 2, b"c")  # evicts page 1
+        assert pool.get("f", 1) is None
+        assert pool.get("f", 0) == b"a"
+        assert pool.get("f", 2) == b"c"
+        assert pool.evictions == 1
+
+    def test_put_existing_refreshes_position(self):
+        pool = BufferPool(2)
+        pool.put("f", 0, b"a")
+        pool.put("f", 1, b"b")
+        pool.put("f", 0, b"a2")  # refresh 0
+        pool.put("f", 2, b"c")  # evicts 1, not 0
+        assert pool.get("f", 0) == b"a2"
+        assert pool.get("f", 1) is None
+
+    def test_capacity_never_exceeded(self):
+        pool = BufferPool(3)
+        for page in range(10):
+            pool.put("f", page, bytes([page]))
+        assert len(pool) == 3
+
+
+class TestInvalidation:
+    def test_clear(self):
+        pool = BufferPool(4)
+        pool.put("f", 0, b"a")
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.get("f", 0) is None
+
+    def test_invalidate_file_only_affects_that_file(self):
+        pool = BufferPool(4)
+        pool.put("f", 0, b"a")
+        pool.put("g", 0, b"b")
+        pool.invalidate_file("f")
+        assert pool.get("f", 0) is None
+        assert pool.get("g", 0) == b"b"

@@ -1,0 +1,82 @@
+"""Unit tests for record codecs and page packing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.spatial_object import SpatialObject, spatial_object_codec
+from repro.geometry.box import Box
+from repro.storage.codec import (
+    FixedRecordCodec,
+    decode_page,
+    encode_page,
+    paginate,
+    records_per_page,
+)
+
+
+@pytest.fixture
+def int_codec() -> FixedRecordCodec[int]:
+    return FixedRecordCodec("<q", lambda value: (value,), lambda fields: fields[0])
+
+
+class TestFixedRecordCodec:
+    def test_roundtrip(self, int_codec):
+        assert int_codec.unpack(int_codec.pack(42)) == 42
+        assert int_codec.record_size == 8
+
+    def test_spatial_object_roundtrip(self):
+        codec = spatial_object_codec(3)
+        obj = SpatialObject(oid=7, dataset_id=3, box=Box((0.0, 1.0, 2.0), (3.0, 4.0, 5.0)))
+        assert codec.unpack(codec.pack(obj)) == obj
+
+    def test_spatial_object_record_size_3d(self):
+        # 2 int64 + 6 float64 = 64 bytes -> 63 objects per 4 KB page.
+        codec = spatial_object_codec(3)
+        assert codec.record_size == 64
+        assert records_per_page(codec.record_size, 4096) == 63
+
+    def test_spatial_object_dimension_mismatch(self):
+        codec = spatial_object_codec(2)
+        obj = SpatialObject(oid=0, dataset_id=0, box=Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)))
+        with pytest.raises(ValueError):
+            codec.pack(obj)
+
+    def test_codec_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            spatial_object_codec(0)
+
+
+class TestPagePacking:
+    def test_records_per_page_accounts_for_header(self, int_codec):
+        assert records_per_page(int_codec.record_size, 84) == 10  # (84 - 4) / 8
+
+    def test_record_too_large_for_page(self):
+        with pytest.raises(ValueError):
+            records_per_page(1000, 256)
+
+    def test_encode_decode_roundtrip(self, int_codec):
+        records = list(range(10))
+        page = encode_page(int_codec, records, 256)
+        assert len(page) <= 256
+        assert decode_page(int_codec, page) == records
+
+    def test_encode_partial_page(self, int_codec):
+        page = encode_page(int_codec, [1, 2], 256)
+        assert decode_page(int_codec, page) == [1, 2]
+
+    def test_encode_overfull_page_rejected(self, int_codec):
+        too_many = list(range(records_per_page(8, 256) + 1))
+        with pytest.raises(ValueError):
+            encode_page(int_codec, too_many, 256)
+
+    def test_paginate_fills_pages(self, int_codec):
+        capacity = records_per_page(8, 256)
+        records = list(range(capacity * 2 + 3))
+        pages = paginate(int_codec, records, 256)
+        assert len(pages) == 3
+        decoded = [record for page in pages for record in decode_page(int_codec, page)]
+        assert decoded == records
+
+    def test_paginate_empty(self, int_codec):
+        assert paginate(int_codec, [], 256) == []

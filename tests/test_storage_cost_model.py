@@ -1,0 +1,93 @@
+"""Unit tests for the disk cost model and IO statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.cost_model import AccessKind, DiskModel, IOStats
+
+
+class TestDiskModel:
+    def test_page_transfer_time(self):
+        model = DiskModel(page_size=4096, transfer_rate_bytes_per_s=4096 * 100)
+        assert model.page_transfer_time_s == pytest.approx(0.01)
+
+    def test_random_access_includes_seek(self):
+        model = DiskModel(seek_time_s=0.005, page_size=4096, transfer_rate_bytes_per_s=4096 * 100)
+        assert model.access_time_s(AccessKind.RANDOM, 1) == pytest.approx(0.015)
+        assert model.access_time_s(AccessKind.SEQUENTIAL, 1) == pytest.approx(0.01)
+
+    def test_multi_page_access_scales_transfer_only(self):
+        model = DiskModel(seek_time_s=0.005, page_size=4096, transfer_rate_bytes_per_s=4096 * 100)
+        random_ten = model.access_time_s(AccessKind.RANDOM, 10)
+        assert random_ten == pytest.approx(0.005 + 0.1)
+
+    def test_zero_pages(self):
+        model = DiskModel()
+        assert model.access_time_s(AccessKind.SEQUENTIAL, 0) == 0.0
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ValueError):
+            DiskModel().access_time_s(AccessKind.RANDOM, -1)
+
+    def test_cpu_time(self):
+        model = DiskModel(cpu_per_record_s=1e-6)
+        assert model.cpu_time_s(1000) == pytest.approx(1e-3)
+        with pytest.raises(ValueError):
+            model.cpu_time_s(-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiskModel(page_size=0)
+        with pytest.raises(ValueError):
+            DiskModel(seek_time_s=-1)
+        with pytest.raises(ValueError):
+            DiskModel(transfer_rate_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            DiskModel(cpu_per_record_s=-1)
+
+
+class TestIOStats:
+    def test_records_accumulate(self):
+        stats = IOStats()
+        stats.record_read(AccessKind.RANDOM, 2, 0.5)
+        stats.record_read(AccessKind.SEQUENTIAL, 3, 0.1)
+        stats.record_write(AccessKind.RANDOM, 1, 0.2)
+        stats.record_cpu(0.05)
+        assert stats.pages_read == 5
+        assert stats.pages_written == 1
+        assert stats.seeks == 2
+        assert stats.io_seconds == pytest.approx(0.8)
+        assert stats.simulated_seconds == pytest.approx(0.85)
+        assert stats.reads_by_kind["random"] == 2
+        assert stats.reads_by_kind["sequential"] == 3
+
+    def test_cache_hits(self):
+        stats = IOStats()
+        stats.record_cache_hit(3)
+        assert stats.cache_hits == 3
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            IOStats().record_cpu(-0.1)
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats()
+        stats.record_read(AccessKind.RANDOM, 1, 0.1)
+        snap = stats.snapshot()
+        stats.record_read(AccessKind.RANDOM, 1, 0.1)
+        assert snap.pages_read == 1
+        assert stats.pages_read == 2
+
+    def test_delta_since(self):
+        stats = IOStats()
+        stats.record_read(AccessKind.RANDOM, 1, 0.1)
+        snap = stats.snapshot()
+        stats.record_read(AccessKind.SEQUENTIAL, 4, 0.4)
+        stats.record_write(AccessKind.RANDOM, 2, 0.3)
+        delta = stats.delta_since(snap)
+        assert delta.pages_read == 4
+        assert delta.pages_written == 2
+        assert delta.io_seconds == pytest.approx(0.7)
+        assert delta.reads_by_kind["sequential"] == 4
+        assert delta.reads_by_kind["random"] == 0

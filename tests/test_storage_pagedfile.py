@@ -1,0 +1,159 @@
+"""Unit tests for PagedFile: groups, in-place rewrites, scans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.spatial_object import spatial_object_codec
+from repro.storage.codec import FixedRecordCodec
+from repro.storage.cost_model import DiskModel
+from repro.storage.disk import Disk
+from repro.storage.pagedfile import PageExtent, PagedFile, StoredRun, coalesce_pages
+
+from tests.conftest import make_random_objects
+from repro.geometry.box import Box
+
+
+@pytest.fixture
+def disk() -> Disk:
+    return Disk(model=DiskModel(seek_time_s=1e-3), buffer_pages=0)
+
+
+@pytest.fixture
+def int_file(disk) -> PagedFile[int]:
+    codec = FixedRecordCodec("<q", lambda v: (v,), lambda f: f[0])
+    return PagedFile(disk, "ints.dat", codec)
+
+
+class TestPageExtent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageExtent(-1, 1)
+        with pytest.raises(ValueError):
+            PageExtent(0, 0)
+
+    def test_pages_and_end(self):
+        extent = PageExtent(3, 4)
+        assert list(extent.pages()) == [3, 4, 5, 6]
+        assert extent.end == 7
+
+    def test_coalesce(self):
+        assert coalesce_pages([5, 1, 2, 3, 7]) == [
+            PageExtent(1, 3),
+            PageExtent(5, 1),
+            PageExtent(7, 1),
+        ]
+        assert coalesce_pages([]) == []
+
+
+class TestStoredRun:
+    def test_n_pages(self):
+        run = StoredRun(extents=(PageExtent(0, 2), PageExtent(5, 1)), n_records=100)
+        assert run.n_pages == 3
+        assert run.page_numbers() == [0, 1, 5]
+
+    def test_negative_records_rejected(self):
+        with pytest.raises(ValueError):
+            StoredRun(extents=(), n_records=-1)
+
+
+class TestAppendAndRead:
+    def test_roundtrip_small_group(self, int_file):
+        run = int_file.append_group([1, 2, 3])
+        assert run.n_records == 3
+        assert int_file.read_group(run) == [1, 2, 3]
+
+    def test_roundtrip_multi_page_group(self, int_file):
+        records = list(range(2000))
+        run = int_file.append_group(records)
+        assert run.n_pages == int_file.pages_needed(2000)
+        assert sorted(int_file.read_group(run)) == records
+
+    def test_empty_group(self, int_file):
+        run = int_file.append_group([])
+        assert run.n_records == 0
+        assert int_file.read_group(run) == []
+
+    def test_groups_do_not_share_pages(self, int_file):
+        run_a = int_file.append_group([1, 2])
+        run_b = int_file.append_group([3, 4])
+        assert set(run_a.page_numbers()).isdisjoint(run_b.page_numbers())
+
+    def test_read_groups_concatenates(self, int_file):
+        run_a = int_file.append_group([1, 2])
+        run_b = int_file.append_group([3])
+        assert sorted(int_file.read_groups([run_a, run_b])) == [1, 2, 3]
+
+    def test_scan_returns_everything(self, int_file):
+        int_file.append_group(list(range(100)))
+        int_file.append_group(list(range(100, 150)))
+        assert sorted(int_file.scan()) == list(range(150))
+
+    def test_scan_missing_file_is_empty(self, int_file):
+        assert list(int_file.scan()) == []
+
+    def test_read_page_records(self, int_file):
+        run = int_file.append_group([7, 8, 9])
+        page = run.extents[0].start
+        assert int_file.read_page_records(page) == [7, 8, 9]
+
+    def test_delete(self, int_file):
+        int_file.append_group([1])
+        int_file.delete()
+        assert not int_file.exists()
+        assert int_file.num_pages() == 0
+
+
+class TestWriteGroupsInPlace:
+    def test_reuses_parent_pages_first(self, int_file):
+        parent = int_file.append_group(list(range(2500)))  # five pages (511/page)
+        pages_before = int_file.num_pages()
+        groups = [list(range(i * 10, i * 10 + 10)) for i in range(4)]
+        runs = int_file.write_groups(groups, reuse=parent.extents)
+        # Four small groups (one page each) fit in the reused pages: no growth.
+        assert int_file.num_pages() == pages_before
+        reused_pages = set(parent.page_numbers())
+        for run in runs:
+            assert set(run.page_numbers()) <= reused_pages
+
+    def test_appends_overflow_pages(self, int_file):
+        parent = int_file.append_group(list(range(300)))
+        pages_before = int_file.num_pages()
+        # Children together need more pages than the parent had (each group
+        # occupies whole pages, so 10 groups of 300 records need ~10x).
+        groups = [list(range(300)) for _ in range(10)]
+        runs = int_file.write_groups(groups, reuse=parent.extents)
+        assert int_file.num_pages() > pages_before
+        for group, run in zip(groups, runs):
+            assert sorted(int_file.read_group(run)) == sorted(group)
+
+    def test_content_preserved_across_rewrite(self, int_file):
+        parent_records = list(range(1000))
+        parent = int_file.append_group(parent_records)
+        groups = [parent_records[:400], parent_records[400:750], parent_records[750:]]
+        runs = int_file.write_groups(groups, reuse=parent.extents)
+        recovered = sorted(
+            record for run in runs for record in int_file.read_group(run)
+        )
+        assert recovered == parent_records
+
+    def test_empty_groups_get_empty_runs(self, int_file):
+        runs = int_file.write_groups([[], [1, 2], []])
+        assert runs[0].n_records == 0
+        assert runs[2].n_records == 0
+        assert int_file.read_group(runs[1]) == [1, 2]
+
+    def test_without_reuse_behaves_like_append(self, int_file):
+        runs = int_file.write_groups([[1], [2, 3]])
+        assert int_file.read_group(runs[0]) == [1]
+        assert sorted(int_file.read_group(runs[1])) == [2, 3]
+
+
+class TestSpatialObjectFile:
+    def test_spatial_objects_roundtrip(self, disk):
+        universe = Box((0.0, 0.0, 0.0), (10.0, 10.0, 10.0))
+        objects = make_random_objects(universe, 200, dataset_id=4, seed=1)
+        file = PagedFile(disk, "objs.dat", spatial_object_codec(3))
+        run = file.append_group(objects)
+        read_back = file.read_group(run)
+        assert {o.key() for o in read_back} == {o.key() for o in objects}

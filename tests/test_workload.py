@@ -1,0 +1,197 @@
+"""Unit tests for the workload generators (queries, ranges, combinations)."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.workload.builder import WorkloadBuilder
+from repro.workload.combinations import CombinationDistribution, CombinationGenerator
+from repro.workload.query import RangeQuery
+from repro.workload.ranges import ClusteredRangeGenerator, UniformRangeGenerator
+
+
+@pytest.fixture
+def universe() -> Box:
+    return Box((0.0, 0.0, 0.0), (1000.0, 1000.0, 1000.0))
+
+
+class TestRangeQuery:
+    def test_normalises_dataset_ids(self):
+        query = RangeQuery(qid=0, box=Box.unit(3), dataset_ids=(3, 1, 3, 2))
+        assert query.dataset_ids == (1, 2, 3)
+        assert query.combination == frozenset({1, 2, 3})
+        assert query.n_datasets == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeQuery(qid=-1, box=Box.unit(3), dataset_ids=(1,))
+        with pytest.raises(ValueError):
+            RangeQuery(qid=0, box=Box.unit(3), dataset_ids=())
+
+
+class TestRangeGenerators:
+    def test_uniform_ranges_inside_universe(self, universe):
+        generator = UniformRangeGenerator(universe, volume_fraction=1e-4, seed=1)
+        for box in generator.ranges(50):
+            assert universe.contains_box(box)
+            assert box.volume() <= universe.volume() * 1e-4 * 1.01
+
+    def test_fixed_volume(self, universe):
+        generator = UniformRangeGenerator(universe, volume_fraction=1e-4, seed=1)
+        interior = [
+            box
+            for box in generator.ranges(200)
+            if all(
+                lo > u_lo and hi < u_hi
+                for lo, hi, u_lo, u_hi in zip(box.lo, box.hi, universe.lo, universe.hi)
+            )
+        ]
+        assert interior, "expected some queries away from the boundary"
+        for box in interior:
+            assert box.volume() == pytest.approx(universe.volume() * 1e-4, rel=1e-6)
+
+    def test_clustered_ranges_concentrate(self, universe):
+        generator = ClusteredRangeGenerator(
+            universe, volume_fraction=1e-4, seed=2, n_cluster_centers=3
+        )
+        centers = generator.cluster_centers
+        near = 0
+        for box in generator.ranges(200):
+            distances = np.linalg.norm(centers - np.asarray(box.center), axis=1)
+            if distances.min() < 0.1 * 1000:
+                near += 1
+        assert near / 200 > 0.8
+
+    def test_explicit_cluster_centers_subsampled(self, universe):
+        provided = np.asarray([[100.0, 100.0, 100.0], [900.0, 900.0, 900.0], [500.0, 500.0, 500.0]])
+        generator = ClusteredRangeGenerator(
+            universe,
+            volume_fraction=1e-4,
+            seed=3,
+            n_cluster_centers=2,
+            cluster_centers=provided,
+        )
+        assert generator.cluster_centers.shape == (2, 3)
+
+    def test_validation(self, universe):
+        with pytest.raises(ValueError):
+            UniformRangeGenerator(universe, volume_fraction=0, seed=1)
+        with pytest.raises(ValueError):
+            ClusteredRangeGenerator(universe, 1e-4, seed=1, n_cluster_centers=0)
+        with pytest.raises(ValueError):
+            ClusteredRangeGenerator(universe, 1e-4, seed=1, sigma_query_sides=0)
+        with pytest.raises(ValueError):
+            ClusteredRangeGenerator(
+                universe, 1e-4, seed=1, cluster_centers=[[1.0, 2.0]]
+            )
+
+    def test_reproducible(self, universe):
+        a = UniformRangeGenerator(universe, 1e-4, seed=7)
+        b = UniformRangeGenerator(universe, 1e-4, seed=7)
+        assert list(a.ranges(10)) == list(b.ranges(10))
+
+
+class TestCombinationGenerator:
+    IDS = list(range(10))
+
+    def test_distribution_parsing(self):
+        assert CombinationDistribution.from_name("Heavy-Hitter") is CombinationDistribution.HEAVY_HITTER
+        assert CombinationDistribution.from_name("zipf") is CombinationDistribution.ZIPF
+        with pytest.raises(ValueError):
+            CombinationDistribution.from_name("nope")
+
+    def test_combination_space_size(self):
+        generator = CombinationGenerator(self.IDS, 5, "uniform", seed=1)
+        assert generator.n_possible_combinations == math.comb(10, 5)
+
+    def test_samples_have_requested_size(self):
+        generator = CombinationGenerator(self.IDS, 3, "zipf", seed=1)
+        for combo in generator.sample_many(100):
+            assert len(combo) == 3
+            assert set(combo) <= set(self.IDS)
+
+    def test_heavy_hitter_share(self):
+        generator = CombinationGenerator(self.IDS, 5, "heavy_hitter", seed=2)
+        samples = generator.sample_many(2000)
+        counts = Counter(samples)
+        top_share = counts.most_common(1)[0][1] / len(samples)
+        assert 0.4 < top_share < 0.6  # 50% +/- sampling noise
+
+    def test_zipf_is_heavily_skewed(self):
+        generator = CombinationGenerator(self.IDS, 5, "zipf", seed=3)
+        samples = generator.sample_many(2000)
+        counts = Counter(samples)
+        top_share = counts.most_common(1)[0][1] / len(samples)
+        assert top_share > 0.45  # 1/zeta(2) ~ 0.61 expected
+
+    def test_self_similar_80_20(self):
+        generator = CombinationGenerator(self.IDS, 5, "self_similar", seed=4)
+        probabilities = generator.probabilities
+        count = len(probabilities)
+        top_20_percent = int(count * 0.2)
+        assert probabilities[:top_20_percent].sum() == pytest.approx(0.8, abs=0.05)
+
+    def test_uniform_is_flat(self):
+        generator = CombinationGenerator(self.IDS, 2, "uniform", seed=5)
+        probabilities = generator.probabilities
+        assert probabilities.max() == pytest.approx(probabilities.min())
+
+    def test_probabilities_sum_to_one(self):
+        for name in ("uniform", "zipf", "self_similar", "heavy_hitter"):
+            generator = CombinationGenerator(self.IDS, 4, name, seed=6)
+            assert generator.probabilities.sum() == pytest.approx(1.0)
+
+    def test_hot_combination_is_most_sampled(self):
+        generator = CombinationGenerator(self.IDS, 5, "zipf", seed=7)
+        samples = generator.sample_many(3000)
+        most_common = Counter(samples).most_common(1)[0][0]
+        assert most_common == generator.hot_combination
+
+    def test_single_dataset_per_query(self):
+        generator = CombinationGenerator(self.IDS, 1, "heavy_hitter", seed=8)
+        assert all(len(c) == 1 for c in generator.sample_many(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombinationGenerator(self.IDS, 0, "uniform", seed=1)
+        with pytest.raises(ValueError):
+            CombinationGenerator(self.IDS, 11, "uniform", seed=1)
+        with pytest.raises(ValueError):
+            CombinationGenerator([1, 1, 2], 1, "uniform", seed=1)
+        with pytest.raises(ValueError):
+            CombinationGenerator(self.IDS, 2, "uniform", seed=1, heavy_hitter_share=1.5)
+        with pytest.raises(ValueError):
+            CombinationGenerator(self.IDS, 2, "uniform", seed=1, zipf_exponent=0)
+
+
+class TestWorkloadBuilder:
+    def test_build_workload(self, universe):
+        ranges = UniformRangeGenerator(universe, 1e-4, seed=1)
+        combos = CombinationGenerator(list(range(6)), 3, "zipf", seed=2)
+        workload = WorkloadBuilder(ranges, combos).build(50, description="test")
+        assert len(workload) == 50
+        assert workload.description == "test"
+        assert workload.metadata["combination_distribution"] == "zipf"
+        assert workload.n_combinations_queried() <= math.comb(6, 3)
+        assert workload.datasets_touched() <= set(range(6))
+        assert all(q.qid == i for i, q in enumerate(workload))
+
+    def test_queries_for_combination(self, universe):
+        ranges = UniformRangeGenerator(universe, 1e-4, seed=1)
+        combos = CombinationGenerator(list(range(5)), 2, "heavy_hitter", seed=3)
+        workload = WorkloadBuilder(ranges, combos).build(100)
+        hot = combos.hot_combination
+        hot_queries = workload.queries_for_combination(hot)
+        assert len(hot_queries) > 30
+        assert all(q.combination == frozenset(hot) for q in hot_queries)
+
+    def test_zero_queries_rejected(self, universe):
+        ranges = UniformRangeGenerator(universe, 1e-4, seed=1)
+        combos = CombinationGenerator(list(range(4)), 2, "uniform", seed=4)
+        with pytest.raises(ValueError):
+            WorkloadBuilder(ranges, combos).build(0)
