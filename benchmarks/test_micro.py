@@ -2,23 +2,31 @@
 
 Unlike the figure benchmarks (whose metric is *simulated* disk time), these
 measure the actual Python execution speed of the building blocks: binary
-codecs, STR packing, partition refinement, grid builds and query routing.
-They are the benchmarks a contributor watches when optimising the library
-itself.
+codecs, STR packing, partition refinement, grid builds, query routing —
+and the batched query engine, whose whole point is wall-clock speed
+(vectorized overlap tests and filtering, page reads deduplicated across
+the batch).  They are the benchmarks a contributor watches when optimising
+the library itself.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
 from repro.baselines.grid import GridIndex
 from repro.baselines.rtree import STRRTree
 from repro.baselines.str_packing import str_sort_tile
+from repro.bench.runner import generate_workload
 from repro.core.adaptor import Adaptor
 from repro.core.config import OdysseyConfig
+from repro.core.odyssey import SpaceOdyssey
 from repro.data.dataset import Dataset
 from repro.data.generator import NeuroscienceDatasetGenerator, brain_universe
 from repro.data.spatial_object import spatial_object_codec
+from repro.data.suite import build_benchmark_suite
 from repro.geometry.box import Box
 from repro.storage.codec import decode_page, encode_page
 from repro.storage.cost_model import DiskModel
@@ -104,6 +112,127 @@ def test_initial_partitioning_wall_time(benchmark, universe, objects):
 
     tree = benchmark.pedantic(initialize, rounds=3, iterations=1)
     assert tree.n_objects == len(objects)
+
+
+# --------------------------------------------------------------------------- #
+# Batched query execution
+# --------------------------------------------------------------------------- #
+#
+# The batched engine trades per-query Python work for NumPy kernels and a
+# shared read set, so its benefit is *steady-state throughput*: the suite
+# below converges the adaptive engine first (one full pass of the workload
+# pays initial partitioning and refinement), then measures the same
+# workload again — sequentially (batch size 1) and through query_batch in
+# chunks of 32.  The speedup assertion is the acceptance bar of the
+# batched-execution PR: >= 2x at batch size 32 on the uniform workload.
+
+BATCH_WORKLOAD_SEED = 23
+BATCH_SIZE = 32
+#: The acceptance bar; override on noisy shared runners (e.g. CI sets a
+#: lower bar because wall-clock ratios wobble under noisy neighbours).
+BATCH_SPEEDUP_MIN = float(os.environ.get("REPRO_BATCH_SPEEDUP_MIN", "2.0"))
+
+
+@pytest.fixture(scope="module")
+def batch_suite():
+    return build_benchmark_suite(
+        n_datasets=5,
+        objects_per_dataset=12_000,
+        seed=17,
+        buffer_pages=0,
+        model=DiskModel(),
+    )
+
+
+@pytest.fixture(scope="module")
+def batch_workload(batch_suite):
+    return list(
+        generate_workload(
+            batch_suite.universe,
+            batch_suite.catalog.dataset_ids(),
+            64,
+            seed=BATCH_WORKLOAD_SEED,
+            datasets_per_query=2,
+            volume_fraction=5e-3,
+            ranges="uniform",
+            ids_distribution="uniform",
+        )
+    )
+
+
+def _converged_engine(batch_suite, batch_workload) -> SpaceOdyssey:
+    """A fresh engine whose adaptive state has settled on the workload."""
+    odyssey = SpaceOdyssey(batch_suite.fork().catalog)
+    for query in batch_workload:
+        odyssey.query(query.box, query.dataset_ids)
+    return odyssey
+
+
+def _best_of(runs: int, fn) -> float:
+    return min(fn() for _ in range(runs))
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_batch_query_throughput(benchmark, batch_suite, batch_workload):
+    """Wall time of one 32-query batch through the batched engine."""
+    odyssey = _converged_engine(batch_suite, batch_workload)
+    chunk = batch_workload[:BATCH_SIZE]
+
+    result = benchmark(lambda: odyssey.query_batch(chunk))
+    assert result.total_results() > 0
+    benchmark.extra_info["group_reads"] = result.group_reads
+    benchmark.extra_info["group_reads_deduped"] = result.group_reads_deduped
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_batched_execution_speedup(batch_suite, batch_workload):
+    """query_batch at batch size 32 must be >= 2x faster than batch size 1.
+
+    Both engines start from identical converged state (forks of the same
+    suite, warmed by one sequential pass); the timed region is a full pass
+    over the 64-query uniform workload.  Best-of-three timings keep the
+    comparison robust against scheduler noise.
+    """
+    sequential = _converged_engine(batch_suite, batch_workload)
+    batched = _converged_engine(batch_suite, batch_workload)
+
+    def run_sequential() -> float:
+        start = time.perf_counter()
+        for query in batch_workload:
+            sequential.query(query.box, query.dataset_ids)
+        return time.perf_counter() - start
+
+    def run_batched() -> float:
+        start = time.perf_counter()
+        for offset in range(0, len(batch_workload), BATCH_SIZE):
+            batched.query_batch(batch_workload[offset : offset + BATCH_SIZE])
+        return time.perf_counter() - start
+
+    # Interleave a warm-up of each path before timing.
+    run_sequential()
+    run_batched()
+    sequential_seconds = _best_of(3, run_sequential)
+    batched_seconds = _best_of(3, run_batched)
+    speedup = sequential_seconds / batched_seconds
+    print(
+        f"\nbatched execution: sequential {sequential_seconds * 1e3:.1f} ms, "
+        f"batch({BATCH_SIZE}) {batched_seconds * 1e3:.1f} ms, "
+        f"speedup {speedup:.2f}x"
+    )
+    assert speedup >= BATCH_SPEEDUP_MIN, (
+        f"batched execution speedup {speedup:.2f}x at batch size {BATCH_SIZE} "
+        f"is below the {BATCH_SPEEDUP_MIN:g}x acceptance bar"
+    )
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_batch_read_dedup_on_repeated_region(batch_suite):
+    """Duplicate windows in one batch must be served from the shared read set."""
+    odyssey = SpaceOdyssey(batch_suite.fork().catalog)
+    universe = batch_suite.universe
+    region = Box.cube(universe.center, universe.side(0) * 0.1).clamp(universe)
+    result = odyssey.query_batch([(region, (0, 1))] * 8)
+    assert result.group_reads_deduped >= result.group_reads * 0.8
 
 
 @pytest.mark.benchmark(group="micro-odyssey")

@@ -21,7 +21,7 @@ from repro.baselines import (
     OneForEach,
     STRRTree,
 )
-from repro.core import OdysseyConfig, SpaceOdyssey
+from repro.core import BatchResult, OdysseyConfig, QueryBatch, SpaceOdyssey
 from repro.data import (
     BenchmarkSuite,
     Dataset,
@@ -46,6 +46,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllInOne",
+    "BatchResult",
     "BenchmarkSuite",
     "Box",
     "BruteForceScan",
@@ -61,6 +62,7 @@ __all__ = [
     "NeuroscienceDatasetGenerator",
     "OdysseyConfig",
     "OneForEach",
+    "QueryBatch",
     "RangeQuery",
     "STRRTree",
     "SpaceOdyssey",

@@ -51,14 +51,21 @@ def build_workload(
     n_cluster_centers: int | None = None,
     seed_offset: int = 0,
     sigma_query_sides: float = 1.0,
+    seed: int | None = None,
 ) -> Workload:
     """The workload for one figure panel.
 
     ``ranges`` is ``"clustered"`` or ``"uniform"``; clustered ranges are
     centred on the data generator's microcircuit centres, exactly as the
     paper's clustered queries target populated brain regions (Figure 3).
+
+    ``seed`` makes the workload RNG seed explicit; when omitted it is
+    derived deterministically from the scale preset as before
+    (``scale.seed + 1000 + seed_offset``).  Pass an explicit value when a
+    test or benchmark must be reproducible independently of the scale.
     """
-    seed = scale.seed + 1000 + seed_offset
+    if seed is None:
+        seed = scale.seed + 1000 + seed_offset
     if ranges == "clustered":
         range_generator = ClusteredRangeGenerator(
             universe=suite.universe,
@@ -149,12 +156,16 @@ def figure4(
     scale: str | ExperimentScale = "small",
     datasets_queried: tuple[int, ...] = (1, 3, 5, 7, 9),
     approaches: tuple[str, ...] = FIGURE4_APPROACHES,
+    batch_size: int = 1,
 ) -> Figure4Result:
     """Reproduce one panel of Figure 4.
 
     Panel (a): ``ids_distribution="zipf"``, clustered ranges.
     Panel (b): ``"heavy_hitter"``.  Panel (c): ``"self_similar"``.
     Panel (d): ``"uniform"`` with ``ranges="uniform"``.
+
+    ``batch_size`` executes the workload in chunks of that many queries
+    (approaches with a ``query_batch`` method use their batched engine).
     """
     scale = get_scale(scale)
     valid_ks = tuple(k for k in datasets_queried if 1 <= k <= scale.n_datasets)
@@ -184,7 +195,7 @@ def figure4(
         for approach_name in approaches:
             suite = master_suite.fork()
             approach = make_approach(approach_name, suite, scale)
-            run = run_approach(approach, workload, suite.disk)
+            run = run_approach(approach, workload, suite.disk, batch_size=batch_size)
             point.cells[approach_name] = Figure4Cell(
                 approach=approach_name,
                 indexing_seconds=run.indexing_seconds,
@@ -254,6 +265,7 @@ def _figure5_panel(
     approaches: tuple[str, ...],
     datasets_per_query: int = 5,
     n_cluster_centers: int | None = None,
+    batch_size: int = 1,
 ) -> Figure5Result:
     scale = get_scale(scale)
     datasets_per_query = min(datasets_per_query, scale.n_datasets)
@@ -277,7 +289,7 @@ def _figure5_panel(
     for approach_name in approaches:
         suite = master_suite.fork()
         approach = make_approach(approach_name, suite, scale)
-        run = run_approach(approach, workload, suite.disk)
+        run = run_approach(approach, workload, suite.disk, batch_size=batch_size)
         result.series[approach_name] = Figure5Series(
             approach=approach_name,
             indexing_seconds=run.indexing_seconds,
@@ -289,6 +301,7 @@ def _figure5_panel(
 def figure5a(
     scale: str | ExperimentScale = "small",
     approaches: tuple[str, ...] = FIGURE5_APPROACHES,
+    batch_size: int = 1,
 ) -> Figure5Result:
     """Figure 5a: clustered ranges, self-similar dataset ids, 5 datasets per query."""
     return _figure5_panel(
@@ -297,12 +310,14 @@ def figure5a(
         ids_distribution="self_similar",
         scale=scale,
         approaches=approaches,
+        batch_size=batch_size,
     )
 
 
 def figure5b(
     scale: str | ExperimentScale = "small",
     approaches: tuple[str, ...] = FIGURE5_APPROACHES,
+    batch_size: int = 1,
 ) -> Figure5Result:
     """Figure 5b: uniform ranges, uniform dataset ids, 5 datasets per query."""
     return _figure5_panel(
@@ -311,6 +326,7 @@ def figure5b(
         ids_distribution="uniform",
         scale=scale,
         approaches=approaches,
+        batch_size=batch_size,
     )
 
 
@@ -356,6 +372,7 @@ class Figure5cResult:
 def figure5c(
     scale: str | ExperimentScale = "small",
     datasets_per_query: int = 5,
+    batch_size: int = 1,
 ) -> Figure5cResult:
     """Figure 5c: isolate the effect of merging partitions queried together.
 
@@ -393,7 +410,7 @@ def figure5c(
         suite = master_suite.fork()
         approach_name = "Odyssey" if enable_merging else "Odyssey-NoMerge"
         approach = make_approach(approach_name, suite, scale)
-        run = run_approach(approach, workload, suite.disk)
+        run = run_approach(approach, workload, suite.disk, batch_size=batch_size)
         runs[enable_merging] = [
             timing.simulated_seconds
             for timing in run.query_timings

@@ -9,20 +9,38 @@ The runner reproduces the paper's measurement methodology:
 * all times are *simulated seconds* from the disk cost model (the wall
   clock of the simulation itself is also recorded, but carries no meaning
   for the reproduction).
+
+Batched execution adds one axis: with ``batch_size > 1`` the workload is
+cut into chunks and each chunk is executed through the approach's
+``query_batch`` method when it has one (Space Odyssey's batched engine);
+approaches without batch support fall back to per-query execution within
+the chunk.  The buffer pool is then dropped once per *batch* rather than
+once per query — amortising the cache drop is part of what batching buys —
+and a batch's simulated time is attributed evenly to its queries so the
+aggregate figures stay comparable.
+
+Workload generation for benchmarks and tests goes through
+:func:`generate_workload`, which takes an **explicit seed** so that any
+run — differential test, cost regression, micro-benchmark — is
+reproducible run-to-run without depending on a scale preset's implicit
+seed arithmetic.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.baselines.interface import MultiDatasetIndex, result_keys
 from repro.data.dataset import DatasetCatalog
+from repro.geometry.box import Box
 from repro.storage.cost_model import IOStats
 from repro.storage.disk import Disk
-from repro.workload.builder import Workload
+from repro.workload.builder import Workload, WorkloadBuilder
+from repro.workload.combinations import CombinationGenerator
 from repro.workload.query import RangeQuery
+from repro.workload.ranges import ClusteredRangeGenerator, UniformRangeGenerator
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +106,7 @@ def run_approach(
     *,
     clear_cache_before_queries: bool = True,
     validate_against: MultiDatasetIndex | None = None,
+    batch_size: int = 1,
 ) -> ApproachResult:
     """Build (if needed) and run every query of the workload.
 
@@ -101,13 +120,22 @@ def run_approach(
         The simulated disk all structures live on (its statistics are used
         to attribute costs).
     clear_cache_before_queries:
-        Drop the buffer pool before every query, as the paper does.  Leave
-        enabled for experiments; tests may disable it to exercise caching.
+        Drop the buffer pool before every query (or, with ``batch_size >
+        1``, before every batch), as the paper does.  Leave enabled for
+        experiments; tests may disable it to exercise caching.
     validate_against:
         Optional oracle; when given, each query's answer is compared and
         mismatches counted (the oracle's own I/O is excluded from timing by
         snapshotting around it).
+    batch_size:
+        Execute the workload in chunks of this many queries.  Chunks go
+        through the approach's ``query_batch`` method when it exists;
+        otherwise queries of a chunk run one at a time.  A batch's
+        simulated time is split evenly over its queries in
+        :attr:`ApproachResult.query_timings`.
     """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     result = ApproachResult(approach=approach.name)
     wall_start = time.perf_counter()
 
@@ -118,32 +146,55 @@ def run_approach(
     result.indexing_seconds = build_delta.simulated_seconds
     result.indexing_io = build_delta
 
+    queries = list(workload)
+    batched = batch_size > 1 and callable(getattr(approach, "query_batch", None))
     querying_start = disk.stats.snapshot()
-    for query in workload:
+    for start in range(0, len(queries), batch_size):
+        chunk = queries[start : start + batch_size]
         if clear_cache_before_queries:
             disk.clear_cache()
             disk.reset_head()
-        before = disk.stats.snapshot()
-        answer = approach.query(query.box, query.dataset_ids)
-        delta = disk.stats.delta_since(before)
-        result.query_timings.append(
-            QueryTiming(
-                qid=query.qid,
-                simulated_seconds=delta.simulated_seconds,
-                n_results=len(answer),
-                n_datasets=query.n_datasets,
-            )
-        )
-        result.total_results += len(answer)
+        if batched:
+            before = disk.stats.snapshot()
+            batch_result = approach.query_batch(chunk)
+            delta = disk.stats.delta_since(before)
+            share = delta.simulated_seconds / len(chunk)
+            answers = list(batch_result.results)
+            for query, answer in zip(chunk, answers):
+                result.query_timings.append(
+                    QueryTiming(
+                        qid=query.qid,
+                        simulated_seconds=share,
+                        n_results=len(answer),
+                        n_datasets=query.n_datasets,
+                    )
+                )
+        else:
+            answers = []
+            for query in chunk:
+                before = disk.stats.snapshot()
+                answers.append(approach.query(query.box, query.dataset_ids))
+                delta = disk.stats.delta_since(before)
+                result.query_timings.append(
+                    QueryTiming(
+                        qid=query.qid,
+                        simulated_seconds=delta.simulated_seconds,
+                        n_results=len(answers[-1]),
+                        n_datasets=query.n_datasets,
+                    )
+                )
+        for answer in answers:
+            result.total_results += len(answer)
         if validate_against is not None:
-            oracle_before = disk.stats.snapshot()
-            expected = validate_against.query(query.box, query.dataset_ids)
-            oracle_delta = disk.stats.delta_since(oracle_before)
-            # Remove the oracle's I/O from the approach's accounting by
-            # rebasing the querying snapshot.
-            querying_start = _shift_snapshot(querying_start, oracle_delta)
-            if result_keys(answer) != result_keys(expected):
-                result.validation_failures += 1
+            for query, answer in zip(chunk, answers):
+                oracle_before = disk.stats.snapshot()
+                expected = validate_against.query(query.box, query.dataset_ids)
+                oracle_delta = disk.stats.delta_since(oracle_before)
+                # Remove the oracle's I/O from the approach's accounting by
+                # rebasing the querying snapshot.
+                querying_start = _shift_snapshot(querying_start, oracle_delta)
+                if result_keys(answer) != result_keys(expected):
+                    result.validation_failures += 1
     querying_delta = disk.stats.delta_since(querying_start)
     result.querying_io = querying_delta
     result.querying_seconds = sum(t.simulated_seconds for t in result.query_timings)
@@ -172,3 +223,53 @@ def brute_force_oracle(catalog: DatasetCatalog) -> MultiDatasetIndex:
     from repro.baselines.interface import BruteForceScan
 
     return BruteForceScan(catalog)
+
+
+def generate_workload(
+    universe: Box,
+    dataset_ids: Sequence[int],
+    n_queries: int,
+    *,
+    seed: int,
+    volume_fraction: float = 1e-4,
+    datasets_per_query: int = 3,
+    ranges: str = "uniform",
+    ids_distribution: str = "uniform",
+    cluster_centers: Sequence[Sequence[float]] | None = None,
+    description: str = "",
+) -> Workload:
+    """A reproducible workload from one explicit seed.
+
+    Both generators are seeded deterministically from ``seed`` (the range
+    generator with ``seed`` itself, the combination generator with ``seed +
+    1``), so two calls with the same arguments produce identical query
+    sequences run-to-run and machine-to-machine — which is what the
+    differential-oracle tests, the cost regressions and the batch
+    micro-benchmarks rely on.
+    """
+    if ranges == "uniform":
+        range_generator: UniformRangeGenerator | ClusteredRangeGenerator = (
+            UniformRangeGenerator(
+                universe=universe, volume_fraction=volume_fraction, seed=seed
+            )
+        )
+    elif ranges == "clustered":
+        range_generator = ClusteredRangeGenerator(
+            universe=universe,
+            volume_fraction=volume_fraction,
+            seed=seed,
+            cluster_centers=cluster_centers,
+        )
+    else:
+        raise ValueError(f"unknown range distribution {ranges!r}")
+    combination_generator = CombinationGenerator(
+        dataset_ids=list(dataset_ids),
+        datasets_per_query=datasets_per_query,
+        distribution=ids_distribution,
+        seed=seed + 1,
+    )
+    return WorkloadBuilder(range_generator, combination_generator).build(
+        n_queries,
+        description=description
+        or f"ranges={ranges}, ids={ids_distribution}, seed={seed}",
+    )

@@ -14,6 +14,10 @@ Run the merging ablation (Figure 5c) at medium scale and save the raw data::
 Run everything the paper reports::
 
     python -m repro.cli all --scale small --output-dir results/
+
+Execute workloads through the batched engine, 32 queries at a time::
+
+    python -m repro.cli fig5b --scale small --batch-size 32
 """
 
 from __future__ import annotations
@@ -24,6 +28,13 @@ from pathlib import Path
 
 from repro.bench import experiments, reporting
 from repro.bench.scales import SCALES
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -37,6 +48,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--output",
         default=None,
         help="optional path of a JSON file to write the raw result to",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=1,
+        help=(
+            "execute the workload in batches of this many queries "
+            "(Space Odyssey uses its vectorized batch engine; default: 1)"
+        ),
     )
 
 
@@ -77,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="run every figure and write JSON results")
     everything.add_argument("--scale", default="small", choices=sorted(SCALES))
     everything.add_argument("--output-dir", default="results", help="directory for JSON results")
+    everything.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=1,
+        help="execute every workload in batches of this many queries (default: 1)",
+    )
     return parser
 
 
@@ -97,31 +123,41 @@ def main(argv: list[str] | None = None) -> int:
             ranges=args.ranges,
             scale=args.scale,
             datasets_queried=ks,
+            batch_size=args.batch_size,
         )
         print(reporting.format_figure4_table(result))
         _maybe_save(result, args.output)
     elif args.command == "fig5a":
-        result = experiments.figure5a(scale=args.scale)
+        result = experiments.figure5a(scale=args.scale, batch_size=args.batch_size)
         print(reporting.format_figure5_summary(result))
         _maybe_save(result, args.output)
     elif args.command == "fig5b":
-        result = experiments.figure5b(scale=args.scale)
+        result = experiments.figure5b(scale=args.scale, batch_size=args.batch_size)
         print(reporting.format_figure5_summary(result))
         _maybe_save(result, args.output)
     elif args.command == "fig5c":
-        result = experiments.figure5c(scale=args.scale)
+        result = experiments.figure5c(scale=args.scale, batch_size=args.batch_size)
         print(reporting.format_figure5c_summary(result))
         _maybe_save(result, args.output)
     elif args.command == "all":
         output_dir = Path(args.output_dir)
+        batch = args.batch_size
         panels = {
-            "fig4a": lambda: experiments.figure4("zipf", "clustered", args.scale),
-            "fig4b": lambda: experiments.figure4("heavy_hitter", "clustered", args.scale),
-            "fig4c": lambda: experiments.figure4("self_similar", "clustered", args.scale),
-            "fig4d": lambda: experiments.figure4("uniform", "uniform", args.scale),
-            "fig5a": lambda: experiments.figure5a(args.scale),
-            "fig5b": lambda: experiments.figure5b(args.scale),
-            "fig5c": lambda: experiments.figure5c(args.scale),
+            "fig4a": lambda: experiments.figure4(
+                "zipf", "clustered", args.scale, batch_size=batch
+            ),
+            "fig4b": lambda: experiments.figure4(
+                "heavy_hitter", "clustered", args.scale, batch_size=batch
+            ),
+            "fig4c": lambda: experiments.figure4(
+                "self_similar", "clustered", args.scale, batch_size=batch
+            ),
+            "fig4d": lambda: experiments.figure4(
+                "uniform", "uniform", args.scale, batch_size=batch
+            ),
+            "fig5a": lambda: experiments.figure5a(args.scale, batch_size=batch),
+            "fig5b": lambda: experiments.figure5b(args.scale, batch_size=batch),
+            "fig5c": lambda: experiments.figure5c(args.scale, batch_size=batch),
         }
         for name, runner in panels.items():
             print(f"=== {name} ===")

@@ -17,8 +17,22 @@ The package mirrors the architecture of Figure 1 in the paper:
   filtering, triggering refinement and merging;
 * :class:`~repro.core.odyssey.SpaceOdyssey` is the public facade tying the
   components together.
+
+Batched execution
+-----------------
+On top of the per-query pipeline, :mod:`repro.core.batch` provides a
+batched execution engine (:class:`~repro.core.batch.QueryBatch`,
+:meth:`SpaceOdyssey.query_batch <repro.core.odyssey.SpaceOdyssey.query_batch>`)
+that amortises work across a group of queries: queries are grouped by
+requested dataset combination, partition overlap tests are resolved for
+the whole batch with the vectorized kernels of
+:mod:`repro.geometry.vectorized`, page reads are deduplicated through a
+shared read set layered on the buffer pool, and statistics, refinement and
+merging are applied once per batch — with per-query results and the
+post-batch adaptive state guaranteed identical to sequential execution.
 """
 
+from repro.core.batch import BatchResult, QueryBatch
 from repro.core.config import OdysseyConfig
 from repro.core.odyssey import SpaceOdyssey
 from repro.core.partition import PartitionNode, PartitionTree
@@ -26,9 +40,11 @@ from repro.core.query_processor import QueryReport
 from repro.core.statistics import StatisticsCollector
 
 __all__ = [
+    "BatchResult",
     "OdysseyConfig",
     "PartitionNode",
     "PartitionTree",
+    "QueryBatch",
     "QueryReport",
     "SpaceOdyssey",
     "StatisticsCollector",

@@ -93,7 +93,9 @@ class Adaptor:
 
     def should_refine(self, node: PartitionNode, query: Box) -> bool:
         """The paper's refinement rule: ``V_partition / V_query > rt``."""
-        query_volume = query.volume()
+        return self._should_refine(node, query.volume())
+
+    def _should_refine(self, node: PartitionNode, query_volume: float) -> bool:
         if query_volume <= 0:
             return False
         return node.volume() / query_volume > self._config.refinement_threshold
@@ -115,7 +117,8 @@ class Adaptor:
             return RefinementOutcome(refined=False, reason="empty partition")
         if node.level >= self._config.max_depth:
             return RefinementOutcome(refined=False, reason="max depth reached")
-        if not self.should_refine(node, query):
+        query_volume = query.volume()
+        if not self._should_refine(node, query_volume):
             return RefinementOutcome(refined=False, reason="below refinement threshold")
 
         levels = 0
@@ -127,7 +130,7 @@ class Adaptor:
                     not leaf.is_leaf
                     or leaf.n_objects == 0
                     or leaf.level >= self._config.max_depth
-                    or not self.should_refine(leaf, query)
+                    or not self._should_refine(leaf, query_volume)
                 ):
                     continue
                 next_round.extend(self.refine(tree, leaf))

@@ -1,0 +1,559 @@
+"""Batched execution: amortising work across a group of exploration queries.
+
+The paper's setting is a *sequence* of exploratory queries, yet the
+sequential :class:`~repro.core.query_processor.QueryProcessor` pays every
+cost — partition overlap tests, page decoding, object filtering — once per
+query.  This module executes a whole batch at once while guaranteeing that
+results **and** the post-batch adaptive state (partition trees, statistics,
+merge directory, file bytes) are identical to running the same queries
+sequentially in order.
+
+Execution model
+---------------
+A batch runs in four phases:
+
+1. **Initialisation** — every requested dataset whose partition tree does
+   not exist yet is initialised up front, in the order sequential execution
+   would have first touched it.  Initialisation only depends on the raw
+   dataset, so doing it early changes no observable state.
+2. **Overlap resolution** — queries are grouped by requested dataset
+   combination and, per (group, dataset), the partition overlap tests of
+   all the group's query windows are resolved in a single call to the
+   vectorized :func:`~repro.geometry.vectorized.intersect_matrix` kernel
+   over the tree's cached per-partition MBR arrays
+   (:meth:`~repro.core.partition.PartitionTree.leaf_snapshot`).
+3. **Retrieval and filtering** — partitions are read through a
+   :class:`BatchReadSet`, a shared read set layered on the existing buffer
+   pool: each distinct stored group is fetched and decoded once per batch
+   (into columnar NumPy arrays, not per-record Python objects) no matter
+   how many queries need it.  Filtering against the original query window
+   is a vectorized mask; ``SpatialObject`` instances are materialised only
+   for actual hits.
+4. **Replay of adaptive updates** — statistics, refinement and merging are
+   applied once per batch, afterwards, by replaying the per-query pipeline
+   in submission order against the evolving trees.  Because refinement
+   decisions depend only on (tree state, query window) and both start from
+   the same state, the replay reproduces the sequential evolution exactly
+   — same refinements in the same order, same page reuse, same merge files,
+   same eviction decisions.
+
+Why the reads may be coarser than sequential reads
+--------------------------------------------------
+Phase 3 reads against the *start-of-batch* trees while sequential
+execution reads against trees that refine mid-sequence.  Reading a
+partition that sequential execution would have read as several refined
+children is safe: the parent's object set is the union of its children's,
+and the query-window extension guarantees every true hit lies in a
+partition overlapping the extended window at any refinement level.  The
+filter step therefore yields byte-identical hits; only
+``QueryReport.objects_examined`` (and the simulated CPU charge for it) may
+differ from the sequential run.  The shared read set also means a batch
+never reads *more* pages than the equivalent sequential run
+(``tests/test_batch_cost.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.merge import RoutingDecision, choose_route
+from repro.core.partition import PartitionNode
+from repro.core.query_processor import QueryProcessor, QueryReport
+from repro.data.spatial_object import SpatialObject, spatial_object_dtype
+from repro.geometry.box import Box
+from repro.geometry.vectorized import box_to_arrays, intersect_mask
+from repro.storage.codec import PAGE_HEADER
+from repro.storage.pagedfile import PagedFile, StoredRun
+from repro.workload.query import RangeQuery
+
+
+@dataclass(frozen=True, slots=True)
+class BatchQuery:
+    """One normalised query of a batch: its position, window and combination."""
+
+    index: int
+    box: Box
+    requested: frozenset[int]
+
+
+class QueryBatch:
+    """A validated, ordered collection of range queries to execute together.
+
+    Accepts :class:`~repro.workload.query.RangeQuery` instances or
+    ``(box, dataset_ids)`` pairs (so a
+    :class:`~repro.workload.builder.Workload` can be passed directly).
+    Queries keep their submission order; :meth:`groups` exposes them
+    grouped by requested dataset combination, which is the unit the batch
+    engine amortises routing and overlap resolution over.
+    """
+
+    def __init__(self, queries: Iterable[RangeQuery | tuple | list]) -> None:
+        normalized: list[BatchQuery] = []
+        for index, query in enumerate(queries):
+            if isinstance(query, RangeQuery):
+                box, dataset_ids = query.box, query.dataset_ids
+            elif isinstance(query, (tuple, list)) and len(query) == 2:
+                box, dataset_ids = query
+            else:
+                raise TypeError(
+                    f"batch entry {index} must be a RangeQuery or a "
+                    f"(box, dataset_ids) pair, got {query!r}"
+                )
+            if not isinstance(box, Box):
+                raise TypeError(f"batch entry {index} has no query Box")
+            requested = frozenset(dataset_ids)
+            if not requested:
+                raise ValueError(f"batch entry {index} requests no datasets")
+            normalized.append(BatchQuery(index=index, box=box, requested=requested))
+        self._queries = tuple(normalized)
+
+    @property
+    def queries(self) -> tuple[BatchQuery, ...]:
+        """The normalised queries in submission order."""
+        return self._queries
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[BatchQuery]:
+        return iter(self._queries)
+
+    def combinations(self) -> set[frozenset[int]]:
+        """The distinct dataset combinations appearing in the batch."""
+        return {query.requested for query in self._queries}
+
+    def groups(self) -> dict[frozenset[int], list[BatchQuery]]:
+        """Queries grouped by requested combination, preserving order."""
+        grouped: dict[frozenset[int], list[BatchQuery]] = {}
+        for query in self._queries:
+            grouped.setdefault(query.requested, []).append(query)
+        return grouped
+
+
+@dataclass
+class BatchResult:
+    """Everything a batch execution produced.
+
+    ``results[i]`` and ``reports[i]`` belong to the i-th submitted query.
+    ``group_reads`` counts every partition-group retrieval the batch
+    needed; ``group_reads_deduped`` is how many of those were served from
+    the shared read set instead of touching the disk again.
+    """
+
+    results: list[list[SpatialObject]]
+    reports: list[QueryReport]
+    group_reads: int = 0
+    group_reads_deduped: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[list[SpatialObject]]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> list[SpatialObject]:
+        return self.results[index]
+
+    def hit_counts(self) -> list[int]:
+        """Number of hits per query, in submission order."""
+        return [len(hits) for hits in self.results]
+
+    def total_results(self) -> int:
+        """Total hits across the batch."""
+        return sum(len(hits) for hits in self.results)
+
+
+class DecodedGroup:
+    """One stored group decoded into columnar arrays.
+
+    Holds the record fields as NumPy columns (``oids``, ``dataset_ids``
+    and the MBR corner matrices) so queries can filter with one vectorized
+    mask; :meth:`materialize` builds ``SpatialObject`` instances only for
+    the rows that survived the mask.  Materialised objects are cached per
+    row: a record selected by several queries of the batch (duplicate or
+    overlapping windows) is constructed once.
+    """
+
+    __slots__ = ("oids", "dataset_ids", "lo", "hi", "_rows", "_objects")
+
+    def __init__(
+        self,
+        oids: np.ndarray,
+        dataset_ids: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ) -> None:
+        self.oids = oids
+        self.dataset_ids = dataset_ids
+        self.lo = lo
+        self.hi = hi
+        self._rows: list[tuple] | None = None
+        self._objects: list[SpatialObject | None] | None = None
+
+    @property
+    def n_records(self) -> int:
+        """Number of records in the group."""
+        return len(self.oids)
+
+    def materialize(self, mask: np.ndarray) -> list[SpatialObject]:
+        """The records selected by ``mask`` as regular spatial objects."""
+        if self._rows is None:
+            # One bulk ndarray->list conversion beats per-element casts.
+            self._rows = list(
+                zip(
+                    self.oids.tolist(),
+                    self.dataset_ids.tolist(),
+                    self.lo.tolist(),
+                    self.hi.tolist(),
+                )
+            )
+            self._objects = [None] * len(self._rows)
+        rows = self._rows
+        objects = self._objects
+        assert objects is not None
+        hits: list[SpatialObject] = []
+        for row in np.nonzero(mask)[0]:
+            obj = objects[row]
+            if obj is None:
+                oid, dataset_id, lo, hi = rows[row]
+                obj = SpatialObject(
+                    oid=oid, dataset_id=dataset_id, box=Box(tuple(lo), tuple(hi))
+                )
+                objects[row] = obj
+            hits.append(obj)
+        return hits
+
+
+class BatchReadSet:
+    """The shared read set of one batch, layered on the buffer pool.
+
+    Keys are ``(file name, page extents, record count)`` — the identity of
+    a stored group.  The first request for a group goes through the normal
+    :class:`~repro.storage.disk.Disk` read path (so cost accounting and the
+    buffer pool behave exactly as for sequential reads) and decodes the
+    pages into a :class:`DecodedGroup`; later requests for the same group
+    from other queries of the batch are free.  The set lives for a single
+    batch only: batch reads all complete before any write of the replay
+    phase, so no invalidation is ever needed.
+    """
+
+    def __init__(self, dimension: int) -> None:
+        self._dtype = spatial_object_dtype(dimension)
+        self._dimension = dimension
+        self._groups: dict[tuple, DecodedGroup] = {}
+        self.group_reads = 0
+        self.dedup_hits = 0
+
+    def read(self, file: PagedFile[SpatialObject], run: StoredRun) -> DecodedGroup:
+        """The decoded records of one stored group (cached per batch)."""
+        self.group_reads += 1
+        key = (file.name, run.extents, run.n_records)
+        group = self._groups.get(key)
+        if group is not None:
+            self.dedup_hits += 1
+            return group
+        group = self._decode(file, run)
+        self._groups[key] = group
+        return group
+
+    def _decode(self, file: PagedFile[SpatialObject], run: StoredRun) -> DecodedGroup:
+        disk = file.disk
+        parts: list[np.ndarray] = []
+        for extent in run.extents:
+            for page_bytes in disk.read_run(file.name, extent.start, extent.count):
+                (count,) = PAGE_HEADER.unpack_from(page_bytes, 0)
+                if count:
+                    parts.append(
+                        np.frombuffer(
+                            page_bytes,
+                            dtype=self._dtype,
+                            count=count,
+                            offset=PAGE_HEADER.size,
+                        )
+                    )
+        if not parts:
+            records = np.empty(0, dtype=self._dtype)
+        elif len(parts) == 1:
+            records = parts[0]
+        else:
+            records = np.concatenate(parts)
+        if len(records) < run.n_records:
+            raise ValueError(
+                f"group in {file.name!r} is corrupt: expected {run.n_records} "
+                f"records, decoded {len(records)}"
+            )
+        records = records[: run.n_records]
+        return DecodedGroup(
+            oids=records["oid"],
+            dataset_ids=records["dataset_id"],
+            lo=records["lo"].reshape(-1, self._dimension),
+            hi=records["hi"].reshape(-1, self._dimension),
+        )
+
+
+class BatchExecutor:
+    """Runs one :class:`QueryBatch` against a query processor's live state.
+
+    See the module docstring for the four-phase execution model and the
+    sequential-identity guarantee.
+    """
+
+    def __init__(self, processor: QueryProcessor) -> None:
+        self._processor = processor
+
+    def run(self, batch: QueryBatch) -> BatchResult:
+        """Execute the batch; equivalent to sequential execution in order."""
+        processor = self._processor
+        queries = batch.queries
+        if not queries:
+            return BatchResult(results=[], reports=[])
+        catalog = processor.catalog
+        for query in queries:
+            for dataset_id in query.requested:
+                catalog.get(dataset_id)  # validates every id before any work
+
+        first_touch = self._initialize_trees(queries)
+        extended = self._extended_windows(queries)
+        needed0, versions0 = self._resolve_overlaps(batch, extended)
+        read_set = BatchReadSet(catalog.dimension)
+        results, examined = self._read_and_filter(batch, needed0, read_set)
+        reports = self._replay_updates(
+            queries, first_touch, extended, needed0, versions0, results, examined
+        )
+        return BatchResult(
+            results=results,
+            reports=reports,
+            group_reads=read_set.group_reads,
+            group_reads_deduped=read_set.dedup_hits,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phase 1 — lazy initialisation
+    # ------------------------------------------------------------------ #
+
+    def _initialize_trees(self, queries: Sequence[BatchQuery]) -> dict[int, int]:
+        """Initialise missing trees in sequential first-touch order.
+
+        Returns ``dataset_id -> index of the query that first touched it``
+        so the replay phase can attribute initialisations to the right
+        :class:`QueryReport`, exactly as sequential execution would.
+        """
+        processor = self._processor
+        trees = processor.live_trees
+        first_touch: dict[int, int] = {}
+        for query in queries:
+            for dataset_id in sorted(query.requested):
+                if dataset_id not in trees and dataset_id not in first_touch:
+                    first_touch[dataset_id] = query.index
+        for dataset_id in first_touch:  # dict preserves first-touch order
+            tree = processor.adaptor.create_tree(processor.catalog.get(dataset_id))
+            processor.adaptor.initialize(tree)
+            trees[dataset_id] = tree
+        return first_touch
+
+    # ------------------------------------------------------------------ #
+    # Phase 2 — vectorized overlap resolution
+    # ------------------------------------------------------------------ #
+
+    def _extended_windows(
+        self, queries: Sequence[BatchQuery]
+    ) -> dict[tuple[int, int], Box]:
+        """Per (query, dataset) extended-and-clamped query windows."""
+        trees = self._processor.live_trees
+        extended: dict[tuple[int, int], Box] = {}
+        for query in queries:
+            for dataset_id in query.requested:
+                tree = trees[dataset_id]
+                extended[(query.index, dataset_id)] = query.box.expand(
+                    tree.max_extent
+                ).clamp(tree.universe)
+        return extended
+
+    def _resolve_overlaps(
+        self, batch: QueryBatch, extended: dict[tuple[int, int], Box]
+    ) -> tuple[dict[tuple[int, int], list[PartitionNode]], dict[int, int]]:
+        """Overlap tests for the whole batch, one kernel call per (group, dataset).
+
+        Returns the per-(query, dataset) overlapping leaves against the
+        start-of-batch trees, plus each tree's structure version at
+        resolution time (so the replay phase knows when the lists are still
+        valid for reuse).
+        """
+        trees = self._processor.live_trees
+        needed0: dict[tuple[int, int], list[PartitionNode]] = {}
+        versions0: dict[int, int] = {}
+        for combination, group in batch.groups().items():
+            for dataset_id in sorted(combination):
+                tree = trees[dataset_id]
+                versions0[dataset_id] = tree.version
+                windows = [extended[(query.index, dataset_id)] for query in group]
+                per_query = tree.leaves_overlapping_batch(windows)
+                for query, leaves in zip(group, per_query):
+                    needed0[(query.index, dataset_id)] = leaves
+        return needed0, versions0
+
+    # ------------------------------------------------------------------ #
+    # Phase 3 — retrieval through the shared read set, vectorized filtering
+    # ------------------------------------------------------------------ #
+
+    def _read_and_filter(
+        self,
+        batch: QueryBatch,
+        needed0: dict[tuple[int, int], list[PartitionNode]],
+        read_set: BatchReadSet,
+    ) -> tuple[list[list[SpatialObject]], list[int]]:
+        """Read every needed group once, filter each query with one mask each."""
+        processor = self._processor
+        trees = processor.live_trees
+        disk = processor.catalog.datasets()[0].disk
+        # Routing is resolved once per combination: the merge directory
+        # cannot change between here and the replay phase, and all reads of
+        # the batch see the same directory state.
+        decisions: dict[frozenset[int], RoutingDecision] = {
+            combination: choose_route(processor.directory, combination)
+            for combination in batch.groups()
+        }
+        results: list[list[SpatialObject]] = [[] for _ in batch.queries]
+        examined: list[int] = [0 for _ in batch.queries]
+        for query in batch.queries:
+            decision = decisions[query.requested]
+            info = decision.merge_info
+            merge_plan: list[tuple[int, PartitionNode]] = []
+            individual_plan: list[tuple[int, PartitionNode]] = []
+            for dataset_id in sorted(query.requested):
+                for leaf in needed0[(query.index, dataset_id)]:
+                    use_merge = (
+                        info is not None
+                        and dataset_id in decision.covered_datasets
+                        and info.has_segment(leaf.key, dataset_id)
+                    )
+                    if use_merge:
+                        merge_plan.append((dataset_id, leaf))
+                    else:
+                        individual_plan.append((dataset_id, leaf))
+            q_lo, q_hi = box_to_arrays(query.box)
+            hits: list[SpatialObject] = []
+            count = 0
+
+            def _collect(group: DecodedGroup, dataset_id: int) -> int:
+                mask = (group.dataset_ids == dataset_id) & intersect_mask(
+                    q_lo, q_hi, group.lo, group.hi
+                )
+                hits.extend(group.materialize(mask))
+                return group.n_records
+
+            if merge_plan and info is not None:
+                merge_file = processor.merger.merge_file(info.combination)
+                merge_plan.sort(
+                    key=lambda item: QueryProcessor._segment_start(
+                        info, item[1].key, item[0]
+                    )
+                )
+                for dataset_id, leaf in merge_plan:
+                    group = read_set.read(merge_file, info.segment(leaf.key, dataset_id))
+                    count += _collect(group, dataset_id)
+            individual_plan.sort(
+                key=lambda item: (item[0], QueryProcessor._partition_start(item[1]))
+            )
+            for dataset_id, leaf in individual_plan:
+                if leaf.run is None or leaf.run.n_records == 0:
+                    continue
+                group = read_set.read(trees[dataset_id].file, leaf.run)
+                count += _collect(group, dataset_id)
+            disk.charge_cpu_records(count)
+            results[query.index] = hits
+            examined[query.index] = count
+        return results, examined
+
+    # ------------------------------------------------------------------ #
+    # Phase 4 — replay of the adaptive per-query pipeline
+    # ------------------------------------------------------------------ #
+
+    def _replay_updates(
+        self,
+        queries: Sequence[BatchQuery],
+        first_touch: dict[int, int],
+        extended: dict[tuple[int, int], Box],
+        needed0: dict[tuple[int, int], list[PartitionNode]],
+        versions0: dict[int, int],
+        results: list[list[SpatialObject]],
+        examined: list[int],
+    ) -> list[QueryReport]:
+        """Apply statistics, refinement and merging in sequential order.
+
+        Works on the *current* trees: the leaves each query retrieved are
+        re-resolved whenever a tree was refined since overlap resolution,
+        which makes every hit count, refinement decision, statistics update
+        and merge trigger identical to sequential execution.
+        """
+        processor = self._processor
+        adaptor = processor.adaptor
+        statistics = processor.statistics
+        directory = processor.directory
+        merger = processor.merger
+        trees = processor.live_trees
+        reports: list[QueryReport] = []
+        for query in queries:
+            requested = query.requested
+            report = QueryReport(
+                query_index=processor.queries_executed,
+                requested=tuple(sorted(requested)),
+            )
+            statistics.tick()
+            report.initialized_datasets = [
+                dataset_id
+                for dataset_id in sorted(requested)
+                if first_touch.get(dataset_id) == query.index
+            ]
+            needed: dict[int, list[PartitionNode]] = {}
+            for dataset_id in sorted(requested):
+                tree = trees[dataset_id]
+                if tree.version == versions0[dataset_id]:
+                    needed[dataset_id] = needed0[(query.index, dataset_id)]
+                else:
+                    # The tree was refined mid-replay; the scalar walk gives
+                    # the same leaves in the same order without forcing a
+                    # snapshot rebuild that the next refinement would
+                    # invalidate again.
+                    needed[dataset_id] = tree.leaves_overlapping(
+                        extended[(query.index, dataset_id)]
+                    )
+            decision = choose_route(directory, requested)
+            report.route = decision.kind.value
+            info = decision.merge_info
+            if info is not None:
+                merger.mark_used(info.combination)
+            accessed_keys: dict[int, set] = {}
+            for dataset_id in sorted(requested):
+                keys = set()
+                for leaf in needed[dataset_id]:
+                    keys.add(leaf.key)
+                    leaf.hit_count += 1
+                    report.partitions_read += 1
+                    if (
+                        info is not None
+                        and dataset_id in decision.covered_datasets
+                        and info.has_segment(leaf.key, dataset_id)
+                    ):
+                        report.partitions_from_merge += 1
+                accessed_keys[dataset_id] = keys
+            report.objects_examined = examined[query.index]
+            report.results = len(results[query.index])
+            for dataset_id in sorted(requested):
+                tree = trees[dataset_id]
+                for leaf in needed[dataset_id]:
+                    if adaptor.maybe_refine(tree, leaf, query.box).refined:
+                        report.refinements += 1
+            statistics.record_query(
+                requested, accessed_keys, query_volume=query.box.volume()
+            )
+            merge_outcome = merger.maybe_merge(requested, trees)
+            report.merged = merge_outcome.merged
+            report.merge_new_partitions = merge_outcome.new_partitions
+            report.evicted_merge_files = len(merge_outcome.evicted_combinations)
+            processor.note_executed(report)
+            reports.append(report)
+        return reports

@@ -14,12 +14,31 @@ Typical usage::
     suite = build_benchmark_suite(n_datasets=10, objects_per_dataset=5000)
     odyssey = SpaceOdyssey(suite.catalog)
     hits = odyssey.query(Box.cube(center=(500, 500, 500), side=25.0), [0, 2, 5])
+
+Batched execution
+-----------------
+When several exploration queries are available at once (a dashboard
+refresh, a scripted sweep, a replayed trace), :meth:`SpaceOdyssey.query_batch`
+executes them together through :mod:`repro.core.batch`: partition overlap
+tests are resolved for the whole batch with vectorized NumPy kernels, page
+reads are deduplicated through a shared read set, and object filtering is
+a columnar mask instead of a per-object Python loop.  Results and the
+post-batch adaptive state are guaranteed identical to issuing the same
+queries sequentially in order::
+
+    batch = odyssey.query_batch([
+        (region_a, [0, 2, 5]),
+        (region_b, [0, 2, 5]),
+        (region_c, [1, 7]),
+    ])
+    batch.results[0]      # hits of the first query
+    batch.reports[2]      # its QueryReport, as in sequential execution
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.baselines.interface import MultiDatasetIndex
 from repro.core.adaptor import Adaptor
@@ -33,6 +52,9 @@ from repro.data.dataset import DatasetCatalog
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
 from repro.storage.disk import Disk
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.core.batch import BatchResult
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,6 +129,24 @@ class SpaceOdyssey(MultiDatasetIndex):
     def query(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
         """Execute a range query over the requested datasets."""
         return self._processor.execute(box, dataset_ids)
+
+    def query_batch(self, queries) -> "BatchResult":
+        """Execute a batch of range queries together (see :mod:`repro.core.batch`).
+
+        ``queries`` is an iterable of ``(box, dataset_ids)`` pairs,
+        :class:`~repro.workload.query.RangeQuery` instances (so a
+        :class:`~repro.workload.builder.Workload` works directly), or an
+        already-built :class:`~repro.core.batch.QueryBatch`.  Per-query
+        result *sets*, reports and the post-batch adaptive state are
+        identical to calling :meth:`query` once per entry in order; the
+        batch only amortises the work (vectorized overlap tests and
+        filtering, page reads deduplicated across the batch).  Two
+        documented deviations: hits may come back in a different order
+        within a query's result list, and ``QueryReport.objects_examined``
+        may differ because the batch reads against start-of-batch trees
+        (see :mod:`repro.core.batch`).
+        """
+        return self._processor.execute_batch(queries)
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -20,11 +20,14 @@ across datasets and merge only partitions at the same refinement level
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.data.spatial_object import SpatialObject, spatial_object_codec
 from repro.geometry.box import Box
+from repro.geometry.vectorized import boxes_to_arrays, intersect_matrix
 from repro.storage.pagedfile import PagedFile, StoredRun
 
 #: A partition's identity: child indices along the path from the root.
@@ -49,6 +52,7 @@ class PartitionNode:
     run: StoredRun | None = None
     children: list["PartitionNode"] | None = None
     hit_count: int = 0
+    _volume: float | None = field(default=None, repr=False, compare=False)
 
     @property
     def level(self) -> int:
@@ -68,8 +72,30 @@ class PartitionNode:
         return self.run.n_records
 
     def volume(self) -> float:
-        """Volume of the region the node covers."""
-        return self.box.volume()
+        """Volume of the region the node covers (cached; the box never changes)."""
+        if self._volume is None:
+            self._volume = self.box.volume()
+        return self._volume
+
+
+@dataclass(frozen=True, slots=True)
+class LeafSnapshot:
+    """An immutable view of a tree's leaves with their MBRs as NumPy arrays.
+
+    ``leaves`` are ordered exactly as the scalar depth-first search of
+    :meth:`PartitionTree.leaves_overlapping` visits them, so a vectorized
+    overlap test that filters this sequence produces the *same leaves in
+    the same order* as the scalar walk — the property the batched query
+    engine relies on to stay bit-identical with sequential execution.
+    ``version`` records the tree structure version the snapshot was taken
+    at; the tree invalidates the cached snapshot whenever a refinement or
+    the initial partitioning changes the leaf set.
+    """
+
+    version: int
+    leaves: tuple[PartitionNode, ...]
+    lo: np.ndarray
+    hi: np.ndarray
 
 
 class PartitionTree:
@@ -94,6 +120,8 @@ class PartitionTree:
         self._nodes: dict[PartitionKey, PartitionNode] = {}
         self._max_extent: tuple[float, ...] = (0.0,) * dataset.dimension
         self._n_objects = 0
+        self._version = 0
+        self._leaf_snapshot: LeafSnapshot | None = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -143,6 +171,11 @@ class PartitionTree:
     def n_partitions(self) -> int:
         """Number of leaf partitions currently in the tree."""
         return sum(1 for node in self._nodes.values() if node.is_leaf)
+
+    @property
+    def version(self) -> int:
+        """Structure version; bumped whenever the leaf set changes."""
+        return self._version
 
     @property
     def depth(self) -> int:
@@ -205,6 +238,7 @@ class PartitionTree:
         self._root_children = children
         self._max_extent = max_extent
         self._n_objects = n_objects
+        self._bump_version()
 
     def replace_with_children(
         self, parent: PartitionNode, runs: list[StoredRun]
@@ -222,7 +256,12 @@ class PartitionTree:
             self._nodes[node.key] = node
         parent.children = children
         parent.run = None
+        self._bump_version()
         return children
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        self._leaf_snapshot = None
 
     # ------------------------------------------------------------------ #
     # Search
@@ -245,6 +284,67 @@ class PartitionTree:
                     child for child in node.children or [] if child.box.intersects(box)
                 )
         return results
+
+    def leaf_snapshot(self) -> LeafSnapshot:
+        """Leaves in scalar-search order, with their MBR corners as arrays.
+
+        The snapshot is cached and rebuilt lazily after structural changes
+        (the per-partition MBR arrays the vectorized overlap kernels
+        consume); :attr:`version` ties a snapshot to the structure it was
+        taken from.
+        """
+        if not self.is_initialized:
+            raise RuntimeError("partition tree has not been initialised yet")
+        snapshot = self._leaf_snapshot
+        if snapshot is None or snapshot.version != self._version:
+            leaves = self._leaves_in_search_order()
+            lo, hi = boxes_to_arrays(
+                [leaf.box for leaf in leaves], dimension=self._universe.dimension
+            )
+            snapshot = LeafSnapshot(
+                version=self._version, leaves=tuple(leaves), lo=lo, hi=hi
+            )
+            self._leaf_snapshot = snapshot
+        return snapshot
+
+    def _leaves_in_search_order(self) -> list[PartitionNode]:
+        """All leaves in the visitation order of :meth:`leaves_overlapping`.
+
+        Uses the same explicit stack as the scalar walk but without the
+        overlap filter.  Because pruning a node from a stack DFS removes
+        its whole subtree without reordering the remaining visits, the
+        scalar result for any query box is exactly this sequence filtered
+        by the overlap predicate — which is what lets the vectorized path
+        reproduce the scalar order.
+        """
+        order: list[PartitionNode] = []
+        stack: list[PartitionNode] = list(self._root_children or [])
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                order.append(node)
+            else:
+                stack.extend(node.children or [])
+        return order
+
+    def leaves_overlapping_batch(self, boxes: Sequence[Box]) -> list[list[PartitionNode]]:
+        """Leaf partitions intersecting each of ``boxes``, resolved in one kernel call.
+
+        Returns one list per input box, each ordered identically to what
+        :meth:`leaves_overlapping` would return for that box.
+        """
+        boxes = list(boxes)
+        if not boxes:
+            return []
+        snapshot = self.leaf_snapshot()
+        if not snapshot.leaves:
+            return [[] for _ in boxes]
+        q_lo, q_hi = boxes_to_arrays(boxes, dimension=self._universe.dimension)
+        matrix = intersect_matrix(q_lo, q_hi, snapshot.lo, snapshot.hi)
+        leaves = snapshot.leaves
+        return [
+            [leaves[j] for j in np.nonzero(row)[0]] for row in matrix
+        ]
 
     def read_partition(self, node: PartitionNode) -> list[SpatialObject]:
         """Read one leaf partition's objects from the partition file."""

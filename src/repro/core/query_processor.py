@@ -24,7 +24,7 @@ without re-deriving it from disk counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.adaptor import Adaptor
 from repro.core.config import OdysseyConfig
@@ -35,6 +35,9 @@ from repro.core.statistics import StatisticsCollector
 from repro.data.dataset import DatasetCatalog
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.core.batch import BatchResult
 
 
 @dataclass
@@ -100,6 +103,53 @@ class QueryProcessor:
     def last_report(self) -> QueryReport | None:
         """Diagnostics of the most recent query."""
         return self._last_report
+
+    # ------------------------------------------------------------------ #
+    # Internal surface shared with the batch executor
+    # ------------------------------------------------------------------ #
+    # The batched engine (repro.core.batch) drives the same components and
+    # the same live tree map as the sequential path, so both paths mutate
+    # one adaptive state.
+
+    @property
+    def catalog(self) -> DatasetCatalog:
+        """The dataset catalog queries run against."""
+        return self._catalog
+
+    @property
+    def config(self) -> OdysseyConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def adaptor(self) -> Adaptor:
+        """The Adaptor performing initial partitioning and refinement."""
+        return self._adaptor
+
+    @property
+    def statistics(self) -> StatisticsCollector:
+        """The statistics collector."""
+        return self._statistics
+
+    @property
+    def directory(self) -> MergeDirectory:
+        """The merge directory."""
+        return self._directory
+
+    @property
+    def merger(self) -> Merger:
+        """The merger."""
+        return self._merger
+
+    @property
+    def live_trees(self) -> dict[int, PartitionTree]:
+        """The *live* tree map (shared, mutable — unlike :attr:`trees`)."""
+        return self._trees
+
+    def note_executed(self, report: QueryReport) -> None:
+        """Record that one query finished (advances counters, keeps report)."""
+        self._queries_executed += 1
+        self._last_report = report
 
     # ------------------------------------------------------------------ #
     # Query execution
@@ -207,9 +257,21 @@ class QueryProcessor:
         report.merge_new_partitions = merge_outcome.new_partitions
         report.evicted_merge_files = len(merge_outcome.evicted_combinations)
 
-        self._queries_executed += 1
-        self._last_report = report
+        self.note_executed(report)
         return results
+
+    def execute_batch(self, queries) -> "BatchResult":
+        """Execute a batch of queries through the batched engine.
+
+        See :mod:`repro.core.batch` for the execution model; result sets
+        and post-batch adaptive state are identical to calling
+        :meth:`execute` once per query in order (hit order within a
+        result and ``QueryReport.objects_examined`` may differ).
+        """
+        from repro.core.batch import BatchExecutor, QueryBatch
+
+        batch = queries if isinstance(queries, QueryBatch) else QueryBatch(queries)
+        return BatchExecutor(self).run(batch)
 
     @staticmethod
     def _segment_start(info, key: PartitionKey, dataset_id: int) -> int:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.geometry.box import Box
 from repro.storage.codec import FixedRecordCodec
 
@@ -80,3 +82,23 @@ def spatial_object_codec(dimension: int) -> FixedRecordCodec[SpatialObject]:
         return SpatialObject(oid=oid, dataset_id=dataset_id, box=Box(lo, hi))
 
     return FixedRecordCodec(fmt, to_fields, from_fields)
+
+
+def spatial_object_dtype(dimension: int) -> np.dtype:
+    """A NumPy structured dtype matching :func:`spatial_object_codec`'s layout.
+
+    The batched query engine uses it to decode whole pages of records into
+    columnar arrays with ``np.frombuffer`` instead of unpacking record by
+    record; the field order and little-endian widths mirror the codec
+    byte-for-byte, so both decoders see identical values.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    return np.dtype(
+        [
+            ("oid", "<i8"),
+            ("dataset_id", "<i8"),
+            ("lo", "<f8", (dimension,)),
+            ("hi", "<f8", (dimension,)),
+        ]
+    )

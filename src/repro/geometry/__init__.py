@@ -14,9 +14,19 @@ from repro.geometry.random_boxes import (
     random_point_in_box,
     sample_boxes,
 )
+from repro.geometry.vectorized import (
+    box_to_arrays,
+    boxes_to_arrays,
+    intersect_mask,
+    intersect_matrix,
+)
 
 __all__ = [
     "Box",
+    "box_to_arrays",
+    "boxes_to_arrays",
+    "intersect_mask",
+    "intersect_matrix",
     "random_box_with_volume",
     "random_point_in_box",
     "sample_boxes",

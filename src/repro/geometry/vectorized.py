@@ -1,0 +1,105 @@
+"""NumPy-vectorized box-intersection kernels.
+
+The scalar :class:`~repro.geometry.box.Box` predicates are convenient but
+become the bottleneck once the batched query engine has to test dozens of
+query windows against thousands of partition MBRs (and then against every
+decoded object record).  The kernels here operate on plain ``float64``
+corner arrays — shape ``(n, d)`` for ``n`` boxes in ``d`` dimensions — and
+implement *exactly* the same closed-box semantics as
+:meth:`Box.intersects <repro.geometry.box.Box.intersects>`: two boxes that
+merely touch (including degenerate zero-extent boxes) are considered
+intersecting.  ``tests/test_properties.py`` asserts the agreement on random
+and degenerate boxes.
+
+Three shapes of the same predicate are provided:
+
+* :func:`intersect_mask` — one box against ``n`` boxes (``(n,)`` bools);
+* :func:`intersect_matrix` — ``m`` boxes against ``n`` boxes (``(m, n)``
+  bools), the kernel the batch engine uses to resolve the partition
+  overlap tests of a whole query batch in one shot;
+* :func:`boxes_to_arrays` — the bridge from ``Box`` objects to the corner
+  arrays the kernels consume.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box
+
+
+def boxes_to_arrays(
+    boxes: Sequence[Box], dimension: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack the corners of ``boxes`` into ``(lo, hi)`` arrays of shape ``(n, d)``.
+
+    ``dimension`` is only required for an empty sequence (an empty array
+    still needs a column count); for a non-empty sequence it is validated
+    against the boxes when given.
+    """
+    if not boxes:
+        if dimension is None:
+            raise ValueError("dimension is required to build arrays from zero boxes")
+        empty = np.empty((0, dimension), dtype=np.float64)
+        return empty, empty.copy()
+    if dimension is not None and boxes[0].dimension != dimension:
+        raise ValueError(
+            f"boxes have dimension {boxes[0].dimension}, expected {dimension}"
+        )
+    lo = np.array([box.lo for box in boxes], dtype=np.float64)
+    hi = np.array([box.hi for box in boxes], dtype=np.float64)
+    return lo, hi
+
+
+def box_to_arrays(box: Box) -> tuple[np.ndarray, np.ndarray]:
+    """The ``(d,)`` corner arrays of one box."""
+    return (
+        np.asarray(box.lo, dtype=np.float64),
+        np.asarray(box.hi, dtype=np.float64),
+    )
+
+
+def intersect_mask(
+    lo: np.ndarray, hi: np.ndarray, los: np.ndarray, his: np.ndarray
+) -> np.ndarray:
+    """Closed-box intersection of one box against many.
+
+    Parameters
+    ----------
+    lo, hi:
+        Corners of the single box, shape ``(d,)``.
+    los, his:
+        Corners of the ``n`` candidate boxes, shape ``(n, d)``.
+
+    Returns
+    -------
+    A boolean array of shape ``(n,)``; entry ``i`` is ``True`` exactly when
+    ``Box(lo, hi).intersects(Box(los[i], his[i]))`` would be.
+    """
+    return ((lo <= his) & (los <= hi)).all(axis=1)
+
+
+def intersect_matrix(
+    a_lo: np.ndarray, a_hi: np.ndarray, b_lo: np.ndarray, b_hi: np.ndarray
+) -> np.ndarray:
+    """Closed-box intersection of ``m`` boxes against ``n`` boxes.
+
+    Parameters
+    ----------
+    a_lo, a_hi:
+        Corners of the first family, shape ``(m, d)``.
+    b_lo, b_hi:
+        Corners of the second family, shape ``(n, d)``.
+
+    Returns
+    -------
+    A boolean matrix of shape ``(m, n)``; entry ``(i, j)`` is ``True``
+    exactly when box ``i`` of the first family intersects box ``j`` of the
+    second under the closed-box semantics of :meth:`Box.intersects`.
+    """
+    overlap = (a_lo[:, None, :] <= b_hi[None, :, :]) & (
+        b_lo[None, :, :] <= a_hi[:, None, :]
+    )
+    return overlap.all(axis=2)
