@@ -1,0 +1,252 @@
+"""Machine-readable performance snapshots (``repro bench --json``).
+
+Unlike the figure experiments (whose metric is *simulated* disk time), a
+perf snapshot measures the library's real wall-clock execution speed — the
+numbers a contributor watches when optimising the engine itself — and
+writes them as one JSON document so the repository can accumulate a
+performance trajectory across commits (CI uploads a ``BENCH_<scale>.json``
+artifact on every push).
+
+One snapshot covers, per phase:
+
+* **build** — generating the synthetic suite (wall seconds, raw page count);
+* **first_touch** — the expensive first query pass that performs in-situ
+  initial partitioning of every dataset;
+* **steady_scalar** — a steady-state pass over the converged engine with
+  the columnar hot path disabled (the scalar reference implementation);
+* **steady_columnar** — the same pass with the columnar-native engine;
+* **steady_batch** — the same workload through ``query_batch`` in chunks;
+
+plus the derived speedups (columnar vs scalar, batch vs scalar) and page
+counts of every on-disk structure after convergence.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.bench.runner import generate_workload
+from repro.bench.scales import ExperimentScale, get_scale
+from repro.core.config import OdysseyConfig
+from repro.core.odyssey import SpaceOdyssey
+from repro.data.suite import BenchmarkSuite, build_benchmark_suite
+
+
+def default_snapshot_path(scale: str | ExperimentScale) -> Path:
+    """The conventional snapshot file name for one scale."""
+    return Path(f"BENCH_{get_scale(scale).name}.json")
+
+
+# The steady-state timing protocol — shared with the acceptance-bar tests
+# in ``benchmarks/test_micro.py`` so the CI smoke and the BENCH_*.json
+# trajectory can never measure different things.
+
+
+def timed(fn) -> float:
+    """Wall seconds of one call."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def best_of(repeats: int, fn) -> float:
+    """The fastest of ``repeats`` calls of a timing function."""
+    return min(fn() for _ in range(max(1, repeats)))
+
+
+def sequential_pass(odyssey: SpaceOdyssey, workload) -> None:
+    """One sequential pass over a workload (the timed unit of every bar)."""
+    for query in workload:
+        odyssey.query(query.box, query.dataset_ids)
+
+
+def run_perf_snapshot(
+    scale: str | ExperimentScale = "small",
+    *,
+    n_queries: int = 64,
+    batch_size: int = 32,
+    seed: int = 23,
+    repeats: int = 3,
+    config: OdysseyConfig | None = None,
+) -> dict[str, Any]:
+    """Measure one perf snapshot and return it as a JSON-ready dict.
+
+    The workload is the uniform micro-benchmark shape: ``n_queries``
+    uniform windows over ``datasets_per_query = 2`` combinations, seeded
+    explicitly so snapshots are comparable run-to-run.  Steady-state
+    passes are best-of-``repeats`` to shed scheduler noise.
+    """
+    scale = get_scale(scale)
+    config = config or OdysseyConfig()
+    phases: dict[str, dict[str, Any]] = {}
+
+    suite_holder: list[BenchmarkSuite] = []
+
+    def build() -> None:
+        suite_holder.append(
+            build_benchmark_suite(
+                n_datasets=scale.n_datasets,
+                objects_per_dataset=scale.objects_per_dataset,
+                seed=scale.seed,
+                buffer_pages=0,
+                model=scale.disk_model(),
+            )
+        )
+
+    build_seconds = timed(build)
+    suite = suite_holder[0]
+    phases["build"] = {
+        "wall_seconds": build_seconds,
+        "datasets": scale.n_datasets,
+        "objects": suite.catalog.total_objects(),
+        "raw_pages": suite.catalog.total_pages(),
+    }
+
+    workload = list(
+        generate_workload(
+            suite.universe,
+            suite.catalog.dataset_ids(),
+            n_queries,
+            seed=seed,
+            datasets_per_query=min(2, scale.n_datasets),
+            volume_fraction=5e-3,
+            ranges="uniform",
+            ids_distribution="uniform",
+        )
+    )
+
+    def converged(engine_config: OdysseyConfig) -> tuple[SpaceOdyssey, float]:
+        odyssey = SpaceOdyssey(suite.fork().catalog, engine_config)
+        return odyssey, timed(lambda: sequential_pass(odyssey, workload))
+
+    scalar_engine, _ = converged(replace(config, columnar=False))
+    columnar_engine, first_touch_seconds = converged(config)
+    batch_engine, _ = converged(config)
+    phases["first_touch"] = {
+        "wall_seconds": first_touch_seconds,
+        "queries": len(workload),
+    }
+
+    # Warm each engine once more, then time best-of passes.
+    for engine in (scalar_engine, columnar_engine):
+        sequential_pass(engine, workload)
+    scalar_seconds = best_of(
+        repeats, lambda: timed(lambda: sequential_pass(scalar_engine, workload))
+    )
+    columnar_seconds = best_of(
+        repeats, lambda: timed(lambda: sequential_pass(columnar_engine, workload))
+    )
+
+    def run_batched() -> None:
+        for start in range(0, len(workload), batch_size):
+            batch_engine.query_batch(workload[start : start + batch_size])
+
+    run_batched()
+    batch_seconds = best_of(repeats, lambda: timed(run_batched))
+
+    for name, seconds in (
+        ("steady_scalar", scalar_seconds),
+        ("steady_columnar", columnar_seconds),
+        ("steady_batch", batch_seconds),
+    ):
+        phases[name] = {
+            "wall_seconds": seconds,
+            "queries_per_second": len(workload) / seconds if seconds > 0 else None,
+        }
+    phases["steady_batch"]["batch_size"] = batch_size
+
+    summary = columnar_engine.summary()
+    disk = columnar_engine.disk
+    pages = {
+        "raw": suite.catalog.total_pages(),
+        "partitions": sum(
+            tree.file.num_pages() for tree in columnar_engine.trees.values()
+        ),
+        "merge": summary.merge_pages,
+        "total_files": len(disk.list_files()),
+    }
+
+    return {
+        "kind": "repro-perf-snapshot",
+        "version": 1,
+        "scale": scale.name,
+        "seed": seed,
+        "n_queries": n_queries,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "phases": phases,
+        "pages": pages,
+        "engine": {
+            "partitions": summary.total_partitions,
+            "max_tree_depth": summary.max_tree_depth,
+            "merge_files": summary.merge_files,
+            "merges_performed": summary.merges_performed,
+        },
+        "speedups": {
+            "sequential_columnar_vs_scalar": scalar_seconds / columnar_seconds
+            if columnar_seconds > 0
+            else None,
+            "batch_vs_scalar": scalar_seconds / batch_seconds
+            if batch_seconds > 0
+            else None,
+            "batch_vs_sequential_columnar": columnar_seconds / batch_seconds
+            if batch_seconds > 0
+            else None,
+        },
+    }
+
+
+def save_snapshot(snapshot: dict[str, Any], path: str | Path) -> Path:
+    """Write a snapshot to ``path`` as indented JSON and return the path."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+    return path
+
+
+def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
+    """A short human-readable digest of one snapshot."""
+    phases = snapshot["phases"]
+    speedups = snapshot["speedups"]
+    lines = [
+        f"perf snapshot — scale: {snapshot['scale']}, "
+        f"{snapshot['n_queries']} queries, batch size {snapshot['batch_size']}",
+        "",
+        f"{'phase':<18}{'wall seconds':>14}{'queries/s':>12}",
+    ]
+    for name in ("build", "first_touch", "steady_scalar", "steady_columnar", "steady_batch"):
+        phase = phases[name]
+        qps = phase.get("queries_per_second")
+        lines.append(
+            f"{name:<18}{phase['wall_seconds']:>14.3f}"
+            + (f"{qps:>12.1f}" if qps else f"{'-':>12}")
+        )
+    def _ratio(value: float | None) -> str:
+        return f"{value:.2f}x" if value is not None else "n/a"
+
+    lines.append("")
+    lines.append(
+        "speedups: "
+        f"sequential columnar {_ratio(speedups['sequential_columnar_vs_scalar'])}, "
+        f"batch {_ratio(speedups['batch_vs_scalar'])} vs the scalar reference"
+    )
+    lines.append(
+        f"pages: raw {snapshot['pages']['raw']}, "
+        f"partitions {snapshot['pages']['partitions']}, "
+        f"merge {snapshot['pages']['merge']}"
+    )
+    return "\n".join(lines)

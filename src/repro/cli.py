@@ -18,6 +18,10 @@ Run everything the paper reports::
 Execute workloads through the batched engine, 32 queries at a time::
 
     python -m repro.cli fig5b --scale small --batch-size 32
+
+Record a machine-readable wall-clock performance snapshot::
+
+    python -m repro.cli bench --scale small --json BENCH_small.json
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.bench import experiments, reporting
+from repro.bench import experiments, perf, reporting
 from repro.bench.scales import SCALES
 
 
@@ -94,6 +98,41 @@ def _build_parser() -> argparse.ArgumentParser:
     fig5c = sub.add_parser("fig5c", help="Figure 5c: effect of merging")
     _add_common(fig5c)
 
+    bench = sub.add_parser(
+        "bench",
+        help="measure a wall-clock perf snapshot and write BENCH_<scale>.json",
+    )
+    bench.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="experiment scale preset (default: small)",
+    )
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="output path of the JSON snapshot (default: BENCH_<scale>.json)",
+    )
+    bench.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=64,
+        help="number of workload queries in the measured passes (default: 64)",
+    )
+    bench.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=32,
+        help="chunk size of the batched steady-state pass (default: 32)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        help="best-of repeats per steady-state pass (default: 3)",
+    )
+
     everything = sub.add_parser("all", help="run every figure and write JSON results")
     everything.add_argument("--scale", default="small", choices=sorted(SCALES))
     everything.add_argument("--output-dir", default="results", help="directory for JSON results")
@@ -139,6 +178,18 @@ def main(argv: list[str] | None = None) -> int:
         result = experiments.figure5c(scale=args.scale, batch_size=args.batch_size)
         print(reporting.format_figure5c_summary(result))
         _maybe_save(result, args.output)
+    elif args.command == "bench":
+        snapshot = perf.run_perf_snapshot(
+            args.scale,
+            n_queries=args.queries,
+            batch_size=args.batch_size,
+            repeats=args.repeats,
+        )
+        print(perf.format_snapshot_summary(snapshot))
+        path = perf.save_snapshot(
+            snapshot, args.json or perf.default_snapshot_path(args.scale)
+        )
+        print(f"\nperf snapshot written to {path}")
     elif args.command == "all":
         output_dir = Path(args.output_dir)
         batch = args.batch_size

@@ -21,11 +21,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import OdysseyConfig
 from repro.core.partition import PartitionNode, PartitionTree
 from repro.data.dataset import Dataset
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
+from repro.geometry.vectorized import grid_child_indices
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,9 +67,16 @@ class Adaptor:
         is read sequentially, objects are assigned to the ``ppl`` uniform
         first-level partitions, and the partitions are written out
         sequentially to the partition file.
+
+        The columnar path consumes the raw scan in structured-array chunks
+        and assigns whole chunks with one vectorized centre test; the
+        resulting partition file is byte-identical to the scalar path's.
         """
         if tree.is_initialized:
             raise RuntimeError(f"dataset {tree.dataset.name!r} is already initialised")
+        if self._config.columnar:
+            self._initialize_columnar(tree)
+            return
         dataset = tree.dataset
         groups: list[list[SpatialObject]] = [[] for _ in range(tree.partitions_per_level)]
         max_extent = [0.0] * dataset.dimension
@@ -84,6 +94,44 @@ class Adaptor:
             groups=groups,
             runs=runs,
             max_extent=tuple(max_extent),
+            n_objects=n_objects,
+        )
+
+    def _initialize_columnar(self, tree: PartitionTree) -> None:
+        """Array-native first touch: scan chunks, vectorized assignment."""
+        dataset = tree.dataset
+        universe = tree.universe
+        ppl = tree.partitions_per_level
+        chunks_per_child: list[list[np.ndarray]] = [[] for _ in range(ppl)]
+        max_extent = np.zeros(dataset.dimension, dtype=np.float64)
+        n_objects = 0
+        empty = None
+        for chunk in dataset.scan_arrays():
+            empty = chunk[:0] if empty is None else empty
+            n_objects += len(chunk)
+            np.maximum(
+                max_extent, (chunk["hi"] - chunk["lo"]).max(axis=0), out=max_extent
+            )
+            centers = (chunk["lo"] + chunk["hi"]) / 2.0
+            indices = grid_child_indices(
+                centers, universe.lo, universe.hi, tree.splits_per_dim
+            )
+            for child in np.unique(indices):
+                chunks_per_child[child].append(chunk[indices == child])
+        if empty is None:
+            empty = np.empty(0, dtype=tree.file.dtype)
+        groups = [
+            parts[0]
+            if len(parts) == 1
+            else (np.concatenate(parts) if parts else empty)
+            for parts in chunks_per_child
+        ]
+        runs = tree.file.write_groups_array(groups)
+        dataset.disk.charge_cpu_records(n_objects)
+        tree.install_first_level(
+            groups=groups,
+            runs=runs,
+            max_extent=tuple(max_extent.tolist()),
             n_objects=n_objects,
         )
 
@@ -148,12 +196,20 @@ class Adaptor:
         Reads the partition, reassigns its objects to the child regions by
         centre, and writes the children back reusing the parent's pages
         (appending any overflow pages at the end of the partition file).
+        The columnar path performs the read, the assignment and the write
+        on structured arrays; pages and runs are byte-identical either way.
         """
         if not node.is_leaf:
             raise ValueError(f"partition {node.key!r} is not a leaf")
-        objects = tree.read_partition(node)
-        groups = tree.assign_to_children(node.box, objects)
         reuse = node.run.extents if node.run is not None else ()
-        runs = tree.file.write_groups(groups, reuse=reuse)
-        tree.dataset.disk.charge_cpu_records(len(objects))
+        if self._config.columnar:
+            records = tree.read_partition_array(node)
+            array_groups = tree.assign_array_to_children(node.box, records)
+            runs = tree.file.write_groups_array(array_groups, reuse=reuse)
+            tree.dataset.disk.charge_cpu_records(len(records))
+        else:
+            objects = tree.read_partition(node)
+            groups = tree.assign_to_children(node.box, objects)
+            runs = tree.file.write_groups(groups, reuse=reuse)
+            tree.dataset.disk.charge_cpu_records(len(objects))
         return tree.replace_with_children(node, runs)

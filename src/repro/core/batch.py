@@ -57,15 +57,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-import numpy as np
-
 from repro.core.merge import RoutingDecision, choose_route
 from repro.core.partition import PartitionNode
 from repro.core.query_processor import QueryProcessor, QueryReport
-from repro.data.spatial_object import SpatialObject, spatial_object_dtype
+from repro.data.columnar import DecodedGroup
+from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
 from repro.geometry.vectorized import box_to_arrays, intersect_mask
-from repro.storage.codec import PAGE_HEADER
+from repro.storage.buffer import BufferCounters
 from repro.storage.pagedfile import PagedFile, StoredRun
 from repro.workload.query import RangeQuery
 
@@ -166,82 +165,21 @@ class BatchResult:
         return sum(len(hits) for hits in self.results)
 
 
-class DecodedGroup:
-    """One stored group decoded into columnar arrays.
-
-    Holds the record fields as NumPy columns (``oids``, ``dataset_ids``
-    and the MBR corner matrices) so queries can filter with one vectorized
-    mask; :meth:`materialize` builds ``SpatialObject`` instances only for
-    the rows that survived the mask.  Materialised objects are cached per
-    row: a record selected by several queries of the batch (duplicate or
-    overlapping windows) is constructed once.
-    """
-
-    __slots__ = ("oids", "dataset_ids", "lo", "hi", "_rows", "_objects")
-
-    def __init__(
-        self,
-        oids: np.ndarray,
-        dataset_ids: np.ndarray,
-        lo: np.ndarray,
-        hi: np.ndarray,
-    ) -> None:
-        self.oids = oids
-        self.dataset_ids = dataset_ids
-        self.lo = lo
-        self.hi = hi
-        self._rows: list[tuple] | None = None
-        self._objects: list[SpatialObject | None] | None = None
-
-    @property
-    def n_records(self) -> int:
-        """Number of records in the group."""
-        return len(self.oids)
-
-    def materialize(self, mask: np.ndarray) -> list[SpatialObject]:
-        """The records selected by ``mask`` as regular spatial objects."""
-        if self._rows is None:
-            # One bulk ndarray->list conversion beats per-element casts.
-            self._rows = list(
-                zip(
-                    self.oids.tolist(),
-                    self.dataset_ids.tolist(),
-                    self.lo.tolist(),
-                    self.hi.tolist(),
-                )
-            )
-            self._objects = [None] * len(self._rows)
-        rows = self._rows
-        objects = self._objects
-        assert objects is not None
-        hits: list[SpatialObject] = []
-        for row in np.nonzero(mask)[0]:
-            obj = objects[row]
-            if obj is None:
-                oid, dataset_id, lo, hi = rows[row]
-                obj = SpatialObject(
-                    oid=oid, dataset_id=dataset_id, box=Box(tuple(lo), tuple(hi))
-                )
-                objects[row] = obj
-            hits.append(obj)
-        return hits
-
-
 class BatchReadSet:
     """The shared read set of one batch, layered on the buffer pool.
 
     Keys are ``(file name, page extents, record count)`` — the identity of
-    a stored group.  The first request for a group goes through the normal
-    :class:`~repro.storage.disk.Disk` read path (so cost accounting and the
-    buffer pool behave exactly as for sequential reads) and decodes the
-    pages into a :class:`DecodedGroup`; later requests for the same group
-    from other queries of the batch are free.  The set lives for a single
-    batch only: batch reads all complete before any write of the replay
-    phase, so no invalidation is ever needed.
+    a stored group.  The first request for a group goes through the shared
+    columnar storage surface
+    (:meth:`~repro.storage.pagedfile.PagedFile.read_group_array`, so cost
+    accounting, the buffer pool and the decoded-array cache behave exactly
+    as for sequential reads); later requests for the same group from other
+    queries of the batch are free.  The set lives for a single batch only:
+    batch reads all complete before any write of the replay phase, so no
+    invalidation is ever needed.
     """
 
     def __init__(self, dimension: int) -> None:
-        self._dtype = spatial_object_dtype(dimension)
         self._dimension = dimension
         self._groups: dict[tuple, DecodedGroup] = {}
         self.group_reads = 0
@@ -255,43 +193,9 @@ class BatchReadSet:
         if group is not None:
             self.dedup_hits += 1
             return group
-        group = self._decode(file, run)
+        group = DecodedGroup.from_records(file.read_group_array(run), self._dimension)
         self._groups[key] = group
         return group
-
-    def _decode(self, file: PagedFile[SpatialObject], run: StoredRun) -> DecodedGroup:
-        disk = file.disk
-        parts: list[np.ndarray] = []
-        for extent in run.extents:
-            for page_bytes in disk.read_run(file.name, extent.start, extent.count):
-                (count,) = PAGE_HEADER.unpack_from(page_bytes, 0)
-                if count:
-                    parts.append(
-                        np.frombuffer(
-                            page_bytes,
-                            dtype=self._dtype,
-                            count=count,
-                            offset=PAGE_HEADER.size,
-                        )
-                    )
-        if not parts:
-            records = np.empty(0, dtype=self._dtype)
-        elif len(parts) == 1:
-            records = parts[0]
-        else:
-            records = np.concatenate(parts)
-        if len(records) < run.n_records:
-            raise ValueError(
-                f"group in {file.name!r} is corrupt: expected {run.n_records} "
-                f"records, decoded {len(records)}"
-            )
-        records = records[: run.n_records]
-        return DecodedGroup(
-            oids=records["oid"],
-            dataset_ids=records["dataset_id"],
-            lo=records["lo"].reshape(-1, self._dimension),
-            hi=records["hi"].reshape(-1, self._dimension),
-        )
 
 
 class BatchExecutor:
@@ -319,9 +223,10 @@ class BatchExecutor:
         extended = self._extended_windows(queries)
         needed0, versions0 = self._resolve_overlaps(batch, extended)
         read_set = BatchReadSet(catalog.dimension)
-        results, examined = self._read_and_filter(batch, needed0, read_set)
+        results, examined, cache_deltas = self._read_and_filter(batch, needed0, read_set)
         reports = self._replay_updates(
-            queries, first_touch, extended, needed0, versions0, results, examined
+            queries, first_touch, extended, needed0, versions0, results, examined,
+            cache_deltas,
         )
         return BatchResult(
             results=results,
@@ -404,11 +309,12 @@ class BatchExecutor:
         batch: QueryBatch,
         needed0: dict[tuple[int, int], list[PartitionNode]],
         read_set: BatchReadSet,
-    ) -> tuple[list[list[SpatialObject]], list[int]]:
+    ) -> tuple[list[list[SpatialObject]], list[int], list[BufferCounters]]:
         """Read every needed group once, filter each query with one mask each."""
         processor = self._processor
         trees = processor.live_trees
         disk = processor.catalog.datasets()[0].disk
+        pool = disk.buffer_pool
         # Routing is resolved once per combination: the merge directory
         # cannot change between here and the replay phase, and all reads of
         # the batch see the same directory state.
@@ -418,7 +324,9 @@ class BatchExecutor:
         }
         results: list[list[SpatialObject]] = [[] for _ in batch.queries]
         examined: list[int] = [0 for _ in batch.queries]
+        cache_deltas: list[BufferCounters] = [BufferCounters() for _ in batch.queries]
         for query in batch.queries:
+            cache_start = pool.counters()
             decision = decisions[query.requested]
             info = decision.merge_info
             merge_plan: list[tuple[int, PartitionNode]] = []
@@ -466,7 +374,8 @@ class BatchExecutor:
             disk.charge_cpu_records(count)
             results[query.index] = hits
             examined[query.index] = count
-        return results, examined
+            cache_deltas[query.index] = pool.counters().delta_since(cache_start)
+        return results, examined, cache_deltas
 
     # ------------------------------------------------------------------ #
     # Phase 4 — replay of the adaptive per-query pipeline
@@ -481,6 +390,7 @@ class BatchExecutor:
         versions0: dict[int, int],
         results: list[list[SpatialObject]],
         examined: list[int],
+        cache_deltas: list[BufferCounters],
     ) -> list[QueryReport]:
         """Apply statistics, refinement and merging in sequential order.
 
@@ -495,9 +405,11 @@ class BatchExecutor:
         directory = processor.directory
         merger = processor.merger
         trees = processor.live_trees
+        pool = processor.catalog.datasets()[0].disk.buffer_pool
         reports: list[QueryReport] = []
         for query in queries:
             requested = query.requested
+            cache_start = pool.counters()
             report = QueryReport(
                 query_index=processor.queries_executed,
                 requested=tuple(sorted(requested)),
@@ -554,6 +466,9 @@ class BatchExecutor:
             report.merged = merge_outcome.merged
             report.merge_new_partitions = merge_outcome.new_partitions
             report.evicted_merge_files = len(merge_outcome.evicted_combinations)
+            report.cache = cache_deltas[query.index] + pool.counters().delta_since(
+                cache_start
+            )
             processor.note_executed(report)
             reports.append(report)
         return reports

@@ -27,7 +27,12 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.data.spatial_object import SpatialObject, spatial_object_codec
 from repro.geometry.box import Box
-from repro.geometry.vectorized import boxes_to_arrays, intersect_matrix
+from repro.geometry.vectorized import (
+    boxes_to_arrays,
+    grid_child_indices,
+    intersect_mask,
+    intersect_matrix,
+)
 from repro.storage.pagedfile import PagedFile, StoredRun
 
 #: A partition's identity: child indices along the path from the root.
@@ -217,6 +222,24 @@ class PartitionTree:
             groups[parent_box.child_index(obj.center, self._splits)].append(obj)
         return groups
 
+    def assign_array_to_children(
+        self, parent_box: Box, records: np.ndarray
+    ) -> list[np.ndarray]:
+        """Columnar :meth:`assign_to_children` over structured record arrays.
+
+        Object centres are compared against the child grid in one kernel
+        call; each child receives the records assigned to it *in record
+        order*, so the resulting groups are byte-identical to the scalar
+        assignment.
+        """
+        if not len(records):
+            return [records[:0] for _ in range(self.partitions_per_level)]
+        centers = (records["lo"] + records["hi"]) / 2.0
+        indices = grid_child_indices(
+            centers, parent_box.lo, parent_box.hi, self._splits
+        )
+        return [records[indices == child] for child in range(self.partitions_per_level)]
+
     def install_first_level(
         self,
         groups: list[list[SpatialObject]],
@@ -327,6 +350,26 @@ class PartitionTree:
                 stack.extend(node.children or [])
         return order
 
+    def leaves_overlapping_vectorized(self, box: Box) -> list[PartitionNode]:
+        """Vectorized :meth:`leaves_overlapping`: one kernel call over the snapshot.
+
+        Returns exactly the leaves (in exactly the order) the scalar DFS
+        walk produces, by filtering the cached search-order snapshot with
+        one :func:`~repro.geometry.vectorized.intersect_mask` call — the
+        sequential engine's per-query overlap test.
+        """
+        snapshot = self.leaf_snapshot()
+        if not snapshot.leaves:
+            return []
+        mask = intersect_mask(
+            np.asarray(box.lo, dtype=np.float64),
+            np.asarray(box.hi, dtype=np.float64),
+            snapshot.lo,
+            snapshot.hi,
+        )
+        leaves = snapshot.leaves
+        return [leaves[j] for j in np.nonzero(mask)[0]]
+
     def leaves_overlapping_batch(self, boxes: Sequence[Box]) -> list[list[PartitionNode]]:
         """Leaf partitions intersecting each of ``boxes``, resolved in one kernel call.
 
@@ -353,6 +396,16 @@ class PartitionTree:
         if node.run is None or node.run.n_records == 0:
             return []
         return self._file.read_group(node.run)
+
+    def read_partition_array(self, node: PartitionNode) -> np.ndarray:
+        """Columnar :meth:`read_partition`: the leaf's records as a structured array."""
+        if not node.is_leaf:
+            raise ValueError(f"partition {node.key!r} is not a leaf")
+        if node.run is None or node.run.n_records == 0:
+            dtype = self._file.dtype
+            assert dtype is not None  # spatial codecs always carry one
+            return np.empty(0, dtype=dtype)
+        return self._file.read_group_array(node.run)
 
     # ------------------------------------------------------------------ #
     # Diagnostics

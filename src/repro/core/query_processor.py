@@ -32,9 +32,13 @@ from repro.core.merge import MergeDirectory, RouteKind, choose_route
 from repro.core.merger import Merger
 from repro.core.partition import PartitionKey, PartitionNode, PartitionTree
 from repro.core.statistics import StatisticsCollector
+from repro.data.columnar import DecodedGroup
 from repro.data.dataset import DatasetCatalog
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
+from repro.geometry.vectorized import box_to_arrays, intersect_mask
+from repro.storage.buffer import BufferCounters
+from repro.storage.pagedfile import PagedFile, StoredRun
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from repro.core.batch import BatchResult
@@ -42,7 +46,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
 
 @dataclass
 class QueryReport:
-    """Diagnostics of one executed query."""
+    """Diagnostics of one executed query.
+
+    ``cache`` reports the buffer-pool counter deltas (byte layer and
+    decoded-array layer) attributed to this query; for batched execution
+    the attribution is approximate (reads are shared across the batch) and
+    the field is excluded from the batch-vs-sequential identity guarantee.
+    """
 
     query_index: int
     requested: tuple[int, ...]
@@ -56,6 +66,7 @@ class QueryReport:
     merged: bool = False
     merge_new_partitions: int = 0
     evicted_merge_files: int = 0
+    cache: BufferCounters | None = None
 
     @property
     def used_merge_file(self) -> bool:
@@ -81,6 +92,7 @@ class QueryProcessor:
         self._statistics = statistics
         self._directory = directory
         self._merger = merger
+        self._disk = catalog.datasets()[0].disk
         self._trees: dict[int, PartitionTree] = {}
         self._queries_executed = 0
         self._last_report: QueryReport | None = None
@@ -165,6 +177,8 @@ class QueryProcessor:
         report = QueryReport(
             query_index=self._queries_executed, requested=tuple(sorted(requested))
         )
+        columnar = self._config.columnar
+        cache_start = self._disk.buffer_pool.counters()
         self._statistics.tick()
 
         # 1. Lazy initialisation of partition trees (in-situ first touch).
@@ -175,12 +189,19 @@ class QueryProcessor:
                 self._trees[dataset_id] = tree
                 report.initialized_datasets.append(dataset_id)
 
-        # 2. Locate the leaf partitions each dataset must read.
+        # 2. Locate the leaf partitions each dataset must read.  The
+        # columnar path tests the query window against the tree's cached
+        # leaf-MBR arrays in one kernel call; leaves and their order are
+        # identical to the scalar DFS walk.
         needed: dict[int, list[PartitionNode]] = {}
         for dataset_id in sorted(requested):
             tree = self._trees[dataset_id]
             extended = box.expand(tree.max_extent).clamp(tree.universe)
-            needed[dataset_id] = tree.leaves_overlapping(extended)
+            needed[dataset_id] = (
+                tree.leaves_overlapping_vectorized(extended)
+                if columnar
+                else tree.leaves_overlapping(extended)
+            )
 
         # 3. Routing: merge file vs individual partition files.
         decision = choose_route(self._directory, requested)
@@ -216,13 +237,34 @@ class QueryProcessor:
                     individual_plan.append((dataset_id, leaf))
             accessed_keys[dataset_id] = keys
 
-        def _filter(objects: list[SpatialObject], dataset_id: int) -> int:
-            count = 0
-            for obj in objects:
-                count += 1
-                if obj.dataset_id == dataset_id and obj.intersects(box):
-                    results.append(obj)
-            return count
+        if columnar:
+            # Vectorized filtering: each stored group decodes into columnar
+            # arrays, dataset membership and window overlap become one mask,
+            # and SpatialObject instances exist only for the final hits.
+            dimension = self._catalog.dimension
+            q_lo, q_hi = box_to_arrays(box)
+
+            def _filter_run(
+                file: PagedFile[SpatialObject], run: StoredRun | None, dataset_id: int
+            ) -> int:
+                if run is None or run.n_records == 0:
+                    return 0
+                group = DecodedGroup.from_records(file.read_group_array(run), dimension)
+                mask = (group.dataset_ids == dataset_id) & intersect_mask(
+                    q_lo, q_hi, group.lo, group.hi
+                )
+                results.extend(group.materialize(mask))
+                return group.n_records
+
+        else:
+
+            def _filter(objects: list[SpatialObject], dataset_id: int) -> int:
+                count = 0
+                for obj in objects:
+                    count += 1
+                    if obj.dataset_id == dataset_id and obj.intersects(box):
+                        results.append(obj)
+                return count
 
         if merge_plan and info is not None:
             merge_file = self._merger.merge_file(info.combination)
@@ -231,12 +273,21 @@ class QueryProcessor:
             )
             for dataset_id, leaf in merge_plan:
                 report.partitions_from_merge += 1
-                objects = merge_file.read_group(info.segment(leaf.key, dataset_id))
-                examined += _filter(objects, dataset_id)
+                segment = info.segment(leaf.key, dataset_id)
+                if columnar:
+                    examined += _filter_run(merge_file, segment, dataset_id)
+                else:
+                    examined += _filter(merge_file.read_group(segment), dataset_id)
         individual_plan.sort(key=lambda item: (item[0], self._partition_start(item[1])))
         for dataset_id, leaf in individual_plan:
-            objects = self._trees[dataset_id].read_partition(leaf)
-            examined += _filter(objects, dataset_id)
+            if columnar:
+                examined += _filter_run(
+                    self._trees[dataset_id].file, leaf.run, dataset_id
+                )
+            else:
+                examined += _filter(
+                    self._trees[dataset_id].read_partition(leaf), dataset_id
+                )
         tree_disk = self._catalog.get(next(iter(requested))).disk
         tree_disk.charge_cpu_records(examined)
         report.objects_examined = examined
@@ -256,6 +307,7 @@ class QueryProcessor:
         report.merged = merge_outcome.merged
         report.merge_new_partitions = merge_outcome.new_partitions
         report.evicted_merge_files = len(merge_outcome.evicted_combinations)
+        report.cache = self._disk.buffer_pool.counters().delta_since(cache_start)
 
         self.note_executed(report)
         return results

@@ -9,6 +9,7 @@ neurons with branching arbours) so that the evaluation workloads exercise
 the same skew and object-size characteristics.
 """
 
+from repro.data.columnar import DecodedGroup
 from repro.data.dataset import Dataset, DatasetCatalog
 from repro.data.generator import (
     ClusteredBoxGenerator,
@@ -23,6 +24,7 @@ __all__ = [
     "ClusteredBoxGenerator",
     "Dataset",
     "DatasetCatalog",
+    "DecodedGroup",
     "NeuroscienceDatasetGenerator",
     "SpatialObject",
     "UniformBoxGenerator",

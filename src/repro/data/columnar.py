@@ -1,0 +1,88 @@
+"""Columnar views of spatial-object groups.
+
+The storage layer decodes pages of spatial objects into NumPy structured
+arrays (:meth:`~repro.storage.pagedfile.PagedFile.read_group_array`); this
+module turns those records into the :class:`DecodedGroup` column bundle the
+query engines filter with — ``oids``/``dataset_ids`` vectors and the MBR
+corner matrices — and materialises :class:`~repro.data.spatial_object.SpatialObject`
+instances only for the rows a query actually hits.
+
+Both the sequential query processor and the batched executor consume this
+one surface, so there is a single bytes→columns→objects path in the
+library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.spatial_object import SpatialObject
+from repro.geometry.box import Box
+
+
+class DecodedGroup:
+    """One stored group decoded into columnar arrays.
+
+    Holds the record fields as NumPy columns (``oids``, ``dataset_ids``
+    and the MBR corner matrices) so queries can filter with one vectorized
+    mask; :meth:`materialize` builds ``SpatialObject`` instances only for
+    the rows that survived the mask — conversion work is proportional to
+    the rows *selected*, never to the group size, so a partition that a
+    query window merely grazes costs (almost) nothing to skip.
+    Materialised objects are cached per row: a record selected several
+    times (duplicate or overlapping query windows within a batch) is
+    constructed once.
+    """
+
+    __slots__ = ("oids", "dataset_ids", "lo", "hi", "_objects")
+
+    def __init__(
+        self,
+        oids: np.ndarray,
+        dataset_ids: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ) -> None:
+        self.oids = oids
+        self.dataset_ids = dataset_ids
+        self.lo = lo
+        self.hi = hi
+        self._objects: dict[int, SpatialObject] = {}
+
+    @classmethod
+    def from_records(cls, records: np.ndarray, dimension: int) -> "DecodedGroup":
+        """Wrap the structured records of one stored group as columns."""
+        return cls(
+            oids=records["oid"],
+            dataset_ids=records["dataset_id"],
+            lo=records["lo"].reshape(-1, dimension),
+            hi=records["hi"].reshape(-1, dimension),
+        )
+
+    @property
+    def n_records(self) -> int:
+        """Number of records in the group."""
+        return len(self.oids)
+
+    def materialize(self, mask: np.ndarray) -> list[SpatialObject]:
+        """The records selected by ``mask`` as regular spatial objects."""
+        rows = np.nonzero(mask)[0]
+        if not len(rows):
+            return []
+        objects = self._objects
+        missing = [row for row in rows.tolist() if row not in objects]
+        if missing:
+            # Bulk ndarray->list conversion of just the missing rows beats
+            # per-element casts without ever touching unselected records.
+            selection = np.asarray(missing)
+            for row, oid, dataset_id, lo, hi in zip(
+                missing,
+                self.oids[selection].tolist(),
+                self.dataset_ids[selection].tolist(),
+                self.lo[selection].tolist(),
+                self.hi[selection].tolist(),
+            ):
+                objects[row] = SpatialObject(
+                    oid=oid, dataset_id=dataset_id, box=Box(tuple(lo), tuple(hi))
+                )
+        return [objects[row] for row in rows.tolist()]

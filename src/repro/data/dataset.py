@@ -125,6 +125,16 @@ class Dataset:
         """
         return self.file.scan()
 
+    def scan_arrays(self) -> "Iterator":
+        """Columnar :meth:`scan`: yield the raw records in structured-array chunks.
+
+        Same sequential pass and disk charging as :meth:`scan`, but each
+        chunk arrives as one NumPy structured array instead of per-object
+        Python instances — the access path of the columnar first-touch
+        initialisation.
+        """
+        return self.file.scan_arrays()
+
     def read_all(self) -> list[SpatialObject]:
         """Scan the raw file into a list."""
         return list(self.scan())

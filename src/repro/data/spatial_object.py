@@ -62,6 +62,11 @@ def spatial_object_codec(dimension: int) -> FixedRecordCodec[SpatialObject]:
     ``lo`` corner (float64 per dimension), the ``hi`` corner (float64 per
     dimension).  For 3-D data this is 64 bytes per record, so a 4 KB page
     holds 63 objects after the page header.
+
+    The codec carries the matching :func:`spatial_object_dtype`, so every
+    :class:`~repro.storage.pagedfile.PagedFile` of spatial objects (raw
+    files, partition files, merge files) automatically supports the
+    zero-copy array surface (``read_group_array`` and friends).
     """
     if dimension < 1:
         raise ValueError("dimension must be >= 1")
@@ -81,16 +86,17 @@ def spatial_object_codec(dimension: int) -> FixedRecordCodec[SpatialObject]:
         hi = tuple(coords[dimension:])
         return SpatialObject(oid=oid, dataset_id=dataset_id, box=Box(lo, hi))
 
-    return FixedRecordCodec(fmt, to_fields, from_fields)
+    return FixedRecordCodec(fmt, to_fields, from_fields, dtype=spatial_object_dtype(dimension))
 
 
 def spatial_object_dtype(dimension: int) -> np.dtype:
     """A NumPy structured dtype matching :func:`spatial_object_codec`'s layout.
 
-    The batched query engine uses it to decode whole pages of records into
-    columnar arrays with ``np.frombuffer`` instead of unpacking record by
+    The columnar storage surface decodes whole pages of records into
+    structured arrays with ``np.frombuffer`` instead of unpacking record by
     record; the field order and little-endian widths mirror the codec
-    byte-for-byte, so both decoders see identical values.
+    byte-for-byte, so both decoders see identical values and encoding from
+    an array writes identical bytes.
     """
     if dimension < 1:
         raise ValueError("dimension must be >= 1")

@@ -17,6 +17,7 @@ from repro.geometry.random_boxes import (
 from repro.geometry.vectorized import (
     box_to_arrays,
     boxes_to_arrays,
+    grid_child_indices,
     intersect_mask,
     intersect_matrix,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "Box",
     "box_to_arrays",
     "boxes_to_arrays",
+    "grid_child_indices",
     "intersect_mask",
     "intersect_matrix",
     "random_box_with_volume",

@@ -81,6 +81,45 @@ def intersect_mask(
     return ((lo <= his) & (los <= hi)).all(axis=1)
 
 
+def grid_child_indices(
+    points: np.ndarray, lo: Sequence[float], hi: Sequence[float], cells_per_dim: int
+) -> np.ndarray:
+    """Row-major grid-cell index of each point, exactly as :meth:`Box.child_index`.
+
+    Parameters
+    ----------
+    points:
+        Point coordinates, shape ``(n, d)``.
+    lo, hi:
+        Corners of the box being split, length ``d``.
+    cells_per_dim:
+        Number of grid cells along every axis.
+
+    Returns
+    -------
+    An ``(n,)`` int64 array; entry ``i`` equals
+    ``Box(lo, hi).child_index(points[i], cells_per_dim)`` bit-for-bit — the
+    same IEEE operation order (offset division, truncation toward zero,
+    clamping) so that vectorized partition assignment places every object
+    in the same child as the scalar path.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    indices = np.zeros(n, dtype=np.int64)
+    for axis in range(points.shape[1]):
+        side = hi[axis] - lo[axis]
+        if side == 0:
+            cells = np.zeros(n, dtype=np.int64)
+        else:
+            offset = (points[:, axis] - lo[axis]) / side
+            # astype truncates toward zero, matching int() in the scalar path;
+            # the clamp then maps any out-of-range center to the border cell.
+            cells = (offset * cells_per_dim).astype(np.int64)
+            np.clip(cells, 0, cells_per_dim - 1, out=cells)
+        indices = indices * cells_per_dim + cells
+    return indices
+
+
 def intersect_matrix(
     a_lo: np.ndarray, a_hi: np.ndarray, b_lo: np.ndarray, b_hi: np.ndarray
 ) -> np.ndarray:

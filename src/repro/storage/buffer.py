@@ -10,11 +10,57 @@ mirrors the paper's cache-dropping methodology.
 The pool is write-through: pages written through the
 :class:`~repro.storage.disk.Disk` are immediately persisted to the backend,
 so eviction never loses data.
+
+Decoded-array layer
+-------------------
+On top of the byte cache the pool keeps a *decoded-array* layer: the
+structured-array decoding of a cached page, keyed exactly like the bytes.
+It is strictly a CPU-work cache — a decoded entry exists only while its
+byte page is resident, so it never changes which disk accesses happen or
+how they are charged; it only lets hot partitions skip re-running
+``np.frombuffer`` page decoding.  Entries are dropped together with their
+byte page (eviction, overwrite, file invalidation, :meth:`clear`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
 from collections import OrderedDict
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class BufferCounters:
+    """A point-in-time snapshot of the pool's hit/miss/eviction counters.
+
+    ``decoded_*`` describe the decoded-array layer; the plain fields
+    describe the byte cache.  Snapshots are cumulative since pool
+    construction; use :meth:`delta_since` for per-query attribution.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    decoded_hits: int = 0
+    decoded_misses: int = 0
+    decoded_evictions: int = 0
+
+    def delta_since(self, earlier: "BufferCounters") -> "BufferCounters":
+        """Counter increments between ``earlier`` and this snapshot."""
+        return BufferCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __add__(self, other: "BufferCounters") -> "BufferCounters":
+        return BufferCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
 
 
 class BufferPool:
@@ -29,9 +75,13 @@ class BufferPool:
             raise ValueError("capacity_pages must be non-negative")
         self._capacity = capacity_pages
         self._pages: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self._decoded: dict[tuple[str, int], Any] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._decoded_hits = 0
+        self._decoded_misses = 0
+        self._decoded_evictions = 0
 
     # -- core operations -------------------------------------------------- #
 
@@ -53,20 +103,46 @@ class BufferPool:
         key = (file_name, page_no)
         if key in self._pages:
             self._pages.move_to_end(key)
+            # Overwrites invalidate any stale decoding of the old bytes.
+            self._decoded.pop(key, None)
         self._pages[key] = data
         while len(self._pages) > self._capacity:
-            self._pages.popitem(last=False)
+            victim, _ = self._pages.popitem(last=False)
             self._evictions += 1
+            if self._decoded.pop(victim, None) is not None:
+                self._decoded_evictions += 1
+
+    def get_decoded(self, file_name: str, page_no: int) -> Any | None:
+        """The cached decoded array of one page, or ``None``."""
+        value = self._decoded.get((file_name, page_no))
+        if value is None:
+            self._decoded_misses += 1
+            return None
+        self._decoded_hits += 1
+        return value
+
+    def put_decoded(self, file_name: str, page_no: int, value: Any) -> None:
+        """Attach a decoded array to a page that is currently byte-cached.
+
+        Silently ignored when the byte page is not resident (including the
+        capacity-zero pool): the decoded layer never outlives the bytes it
+        was decoded from, so every byte-invalidation path also covers it.
+        """
+        key = (file_name, page_no)
+        if key in self._pages:
+            self._decoded[key] = value
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop every cached page belonging to one file (used on delete)."""
         stale = [key for key in self._pages if key[0] == file_name]
         for key in stale:
             del self._pages[key]
+            self._decoded.pop(key, None)
 
     def clear(self) -> None:
         """Drop every cached page (the paper's per-query cache clearing)."""
         self._pages.clear()
+        self._decoded.clear()
 
     # -- introspection ---------------------------------------------------- #
 
@@ -95,3 +171,29 @@ class BufferPool:
     def evictions(self) -> int:
         """Number of pages evicted due to capacity pressure."""
         return self._evictions
+
+    @property
+    def decoded_hits(self) -> int:
+        """Decoded-array lookups served from the cache."""
+        return self._decoded_hits
+
+    @property
+    def decoded_misses(self) -> int:
+        """Decoded-array lookups that had to decode page bytes."""
+        return self._decoded_misses
+
+    @property
+    def decoded_evictions(self) -> int:
+        """Decoded arrays dropped because their byte page was evicted."""
+        return self._decoded_evictions
+
+    def counters(self) -> BufferCounters:
+        """A snapshot of all counters (byte layer and decoded layer)."""
+        return BufferCounters(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            decoded_hits=self._decoded_hits,
+            decoded_misses=self._decoded_misses,
+            decoded_evictions=self._decoded_evictions,
+        )

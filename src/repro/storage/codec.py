@@ -7,12 +7,26 @@ uses it to pack as many records as fit into each 4 KB page.
 
 Each page starts with a 4-byte little-endian record count so that partially
 filled pages decode unambiguously.
+
+Two decoding surfaces share this page format:
+
+* the *scalar* surface (:func:`encode_page` / :func:`decode_page`) packs and
+  unpacks one Python record object at a time through a
+  :class:`RecordCodec`;
+* the *array* surface (:func:`encode_page_array` / :func:`decode_page_array`)
+  moves whole pages between bytes and NumPy structured arrays in one
+  ``np.frombuffer`` / ``tobytes`` call, without materialising per-record
+  Python objects.  A codec that exposes a :attr:`RecordCodec.dtype` whose
+  layout mirrors its ``struct`` format byte-for-byte guarantees both
+  surfaces read and write identical bytes.
 """
 
 from __future__ import annotations
 
 import struct
 from typing import Generic, Iterable, Protocol, Sequence, TypeVar
+
+import numpy as np
 
 RecordT = TypeVar("RecordT")
 
@@ -26,6 +40,16 @@ class RecordCodec(Protocol[RecordT]):
     @property
     def record_size(self) -> int:
         """Size of one encoded record in bytes."""
+        ...
+
+    @property
+    def dtype(self) -> "np.dtype | None":
+        """A structured dtype mirroring the byte layout, or ``None``.
+
+        When present, pages of this record type can be decoded and encoded
+        through the array surface (:func:`decode_page_array`), skipping
+        per-record Python objects entirely.
+        """
         ...
 
     def pack(self, record: RecordT) -> bytes:
@@ -48,17 +72,32 @@ class FixedRecordCodec(Generic[RecordT]):
         Maps a record to the tuple of values packed by ``fmt``.
     from_fields:
         Maps an unpacked tuple back to a record.
+    dtype:
+        Optional NumPy structured dtype whose byte layout matches ``fmt``
+        exactly; it unlocks the zero-copy array surface of
+        :class:`~repro.storage.pagedfile.PagedFile`.
     """
 
-    def __init__(self, fmt: str, to_fields, from_fields) -> None:
+    def __init__(self, fmt: str, to_fields, from_fields, dtype: np.dtype | None = None) -> None:
         self._struct = struct.Struct(fmt)
         self._to_fields = to_fields
         self._from_fields = from_fields
+        if dtype is not None and dtype.itemsize != self._struct.size:
+            raise ValueError(
+                f"dtype itemsize {dtype.itemsize} does not match the "
+                f"{self._struct.size}-byte struct format {fmt!r}"
+            )
+        self._dtype = dtype
 
     @property
     def record_size(self) -> int:
         """Size of one encoded record in bytes."""
         return self._struct.size
+
+    @property
+    def dtype(self) -> np.dtype | None:
+        """The structured dtype mirroring the byte layout (if declared)."""
+        return self._dtype
 
     def pack(self, record: RecordT) -> bytes:
         """Encode one record."""
@@ -102,6 +141,44 @@ def decode_page(codec: RecordCodec[RecordT], data: bytes) -> list[RecordT]:
         records.append(codec.unpack(data[offset : offset + size]))
         offset += size
     return records
+
+
+def decode_page_array(dtype: np.dtype, data: bytes) -> np.ndarray:
+    """Decode one page into a structured array without copying the payload.
+
+    The returned array is a read-only ``np.frombuffer`` view over the page
+    bytes: decoding is one header read plus pointer arithmetic, no matter
+    how many records the page holds.  Values are bit-identical to what
+    :func:`decode_page` produces through the scalar codec.
+    """
+    (count,) = PAGE_HEADER.unpack_from(data, 0)
+    available = (len(data) - PAGE_HEADER.size) // dtype.itemsize
+    if count > available:
+        raise ValueError(
+            f"page header claims {count} records but only {available} fit in the page"
+        )
+    return np.frombuffer(data, dtype=dtype, count=count, offset=PAGE_HEADER.size)
+
+
+def encode_page_array(records: np.ndarray, page_size: int) -> bytes:
+    """Pack up to one page worth of structured records into page bytes.
+
+    Byte-identical to :func:`encode_page` over the equivalent record
+    objects, provided the array's dtype mirrors the codec layout.
+    """
+    capacity = records_per_page(records.dtype.itemsize, page_size)
+    if len(records) > capacity:
+        raise ValueError(f"{len(records)} records exceed page capacity {capacity}")
+    return PAGE_HEADER.pack(len(records)) + records.tobytes()
+
+
+def paginate_array(records: np.ndarray, page_size: int) -> list[bytes]:
+    """Split a structured array into encoded pages (all full except the last)."""
+    capacity = records_per_page(records.dtype.itemsize, page_size)
+    return [
+        encode_page_array(records[start : start + capacity], page_size)
+        for start in range(0, len(records), capacity)
+    ]
 
 
 def paginate(

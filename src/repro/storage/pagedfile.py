@@ -10,6 +10,19 @@ The write path supports the paper's *in-place refinement*: when a partition
 is split, the pages it used to occupy are handed back to
 :meth:`PagedFile.write_groups` for reuse, and only the overflow is appended
 at the end of the file (Section 3.1.2 of the paper).
+
+Columnar surface
+----------------
+When the codec declares a structured ``dtype`` mirroring its byte layout
+(spatial-object codecs do), the file additionally exposes an *array-native*
+surface: :meth:`PagedFile.read_group_array` and :meth:`PagedFile.scan_arrays`
+decode pages straight into NumPy structured arrays (``np.frombuffer``, no
+per-record Python objects), and :meth:`PagedFile.append_group_array` /
+:meth:`PagedFile.write_groups_array` encode straight from arrays.  Both
+surfaces produce and consume byte-identical pages, so scalar and columnar
+callers can be mixed freely on the same file.  Array reads are backed by the
+buffer pool's decoded-array layer: a page whose bytes are cached is decoded
+at most once.
 """
 
 from __future__ import annotations
@@ -17,7 +30,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generic, Iterable, Iterator, Sequence, TypeVar
 
-from repro.storage.codec import RecordCodec, decode_page, encode_page, records_per_page
+import numpy as np
+
+from repro.storage.codec import (
+    RecordCodec,
+    decode_page,
+    decode_page_array,
+    encode_page,
+    paginate_array,
+    records_per_page,
+)
 from repro.storage.disk import Disk
 
 RecordT = TypeVar("RecordT")
@@ -117,6 +139,7 @@ class PagedFile(Generic[RecordT]):
         self._disk = disk
         self._name = name
         self._codec = codec
+        self._dtype: np.dtype | None = getattr(codec, "dtype", None)
         self._records_per_page = records_per_page(codec.record_size, disk.page_size)
 
     # ------------------------------------------------------------------ #
@@ -137,6 +160,11 @@ class PagedFile(Generic[RecordT]):
     def codec(self) -> RecordCodec[RecordT]:
         """The record codec."""
         return self._codec
+
+    @property
+    def dtype(self) -> np.dtype | None:
+        """The structured dtype of the array surface (``None`` if unavailable)."""
+        return self._dtype
 
     @property
     def records_per_page(self) -> int:
@@ -170,12 +198,11 @@ class PagedFile(Generic[RecordT]):
 
     def append_group(self, records: Sequence[RecordT]) -> StoredRun:
         """Append one group of records at the end of the file."""
-        self._ensure_created()
-        if not records:
-            return StoredRun(extents=(), n_records=0)
-        pages = self._encode_group(records)
-        first = self._disk.append_run(self._name, pages)
-        return StoredRun(extents=(PageExtent(first, len(pages)),), n_records=len(records))
+        return self._append_pages(self._encode_group(records), len(records))
+
+    def append_group_array(self, records: np.ndarray) -> StoredRun:
+        """Append one group encoded straight from a structured array."""
+        return self._append_pages(self._encode_group_array(records), len(records))
 
     def write_groups(
         self,
@@ -189,16 +216,54 @@ class PagedFile(Generic[RecordT]):
         is appended at the end of the file.  Groups never share pages, so
         each resulting :class:`StoredRun` can be read independently.
         """
+        return self._write_encoded_groups(
+            [(self._encode_group(records), len(records)) for records in groups], reuse
+        )
+
+    def write_groups_array(
+        self,
+        groups: Sequence[np.ndarray],
+        reuse: Sequence[PageExtent] = (),
+    ) -> list[StoredRun]:
+        """Array-native :meth:`write_groups`: groups are structured arrays.
+
+        Page bytes, allocation order and the resulting runs are identical
+        to encoding the equivalent record objects through
+        :meth:`write_groups`.
+        """
+        return self._write_encoded_groups(
+            [(self._encode_group_array(records), len(records)) for records in groups],
+            reuse,
+        )
+
+    def _append_pages(self, pages: list[bytes], n_records: int) -> StoredRun:
+        self._ensure_created()
+        if not n_records:
+            return StoredRun(extents=(), n_records=0)
+        first = self._disk.append_run(self._name, pages)
+        return StoredRun(extents=(PageExtent(first, len(pages)),), n_records=n_records)
+
+    def _write_encoded_groups(
+        self,
+        encoded: Sequence[tuple[list[bytes], int]],
+        reuse: Sequence[PageExtent],
+    ) -> list[StoredRun]:
+        """The shared write core: place encoded pages, reused extents first.
+
+        Groups whose pages do not all fit in the reused extents remember how
+        many pages overflowed as a plain ``(group index, missing)`` pair;
+        after one bulk append at the end of the file the missing pages are
+        dealt back out in group order.
+        """
         self._ensure_created()
         allocator = _PageAllocator(free_pages=[p for ext in reuse for p in ext.pages()])
         runs: list[StoredRun] = []
         pending_appends: list[bytes] = []
-        pending_groups: list[tuple[int, list[int]]] = []  # (group index, missing page count)
-        for index, records in enumerate(groups):
-            if not records:
+        overflows: list[tuple[int, int]] = []  # (group index, missing page count)
+        for index, (pages, n_records) in enumerate(encoded):
+            if not n_records:
                 runs.append(StoredRun(extents=(), n_records=0))
                 continue
-            pages = self._encode_group(records)
             assigned: list[int] = []
             missing = 0
             for page_bytes in pages:
@@ -209,19 +274,18 @@ class PagedFile(Generic[RecordT]):
                 else:
                     self._disk.write_page(self._name, slot, page_bytes)
                     assigned.append(slot)
-            runs.append(StoredRun(extents=tuple(coalesce_pages(assigned)), n_records=len(records)))
+            runs.append(StoredRun(extents=tuple(coalesce_pages(assigned)), n_records=n_records))
             if missing:
-                pending_groups.append((index, [missing]))
+                overflows.append((index, missing))
         if pending_appends:
-            first_new = self._disk.append_run(self._name, pending_appends)
-            cursor = first_new
-            for index, (missing,) in pending_groups:
+            cursor = self._disk.append_run(self._name, pending_appends)
+            for index, missing in overflows:
                 new_pages = list(range(cursor, cursor + missing))
                 cursor += missing
                 old_run = runs[index]
-                combined = old_run.page_numbers() + new_pages
                 runs[index] = StoredRun(
-                    extents=tuple(coalesce_pages(combined)), n_records=old_run.n_records
+                    extents=tuple(coalesce_pages(old_run.page_numbers() + new_pages)),
+                    n_records=old_run.n_records,
                 )
         return runs
 
@@ -268,6 +332,80 @@ class PagedFile(Generic[RecordT]):
             yield from decode_page(self._codec, page_bytes)
 
     # ------------------------------------------------------------------ #
+    # Array-native reading
+    # ------------------------------------------------------------------ #
+
+    def read_group_array(self, run: StoredRun) -> np.ndarray:
+        """Read one group as a structured array (zero-copy page decoding).
+
+        Disk accesses and cost accounting are identical to
+        :meth:`read_group`; only the bytes→records step changes.  Decoded
+        pages are cached in the buffer pool's decoded-array layer, so a
+        group whose pages are byte-cached is served without re-decoding.
+        """
+        dtype = self._require_dtype()
+        parts: list[np.ndarray] = []
+        for extent in run.extents:
+            pages = self._disk.read_run(self._name, extent.start, extent.count)
+            for offset, page_bytes in enumerate(pages):
+                decoded = self._decode_page_cached(extent.start + offset, page_bytes)
+                if len(decoded):
+                    parts.append(decoded)
+        if not parts:
+            records = np.empty(0, dtype=dtype)
+        elif len(parts) == 1:
+            records = parts[0]
+        else:
+            records = np.concatenate(parts)
+        if len(records) < run.n_records:
+            raise ValueError(
+                f"group in {self._name!r} is corrupt: expected {run.n_records} "
+                f"records, decoded {len(records)}"
+            )
+        return records[: run.n_records]
+
+    def scan_arrays(self, chunk_pages: int = 256) -> Iterator[np.ndarray]:
+        """Yield the file's records in columnar chunks (one sequential pass).
+
+        Each yielded array concatenates up to ``chunk_pages`` pages; disk
+        charging matches :meth:`scan` (sequential runs of the same size).
+        """
+        dtype = self._require_dtype()
+        if not self.exists():
+            return
+        if chunk_pages < 1:
+            raise ValueError("chunk_pages must be >= 1")
+        total = self.num_pages()
+        for start in range(0, total, chunk_pages):
+            count = min(chunk_pages, total - start)
+            parts = [
+                self._decode_page_cached(start + offset, page_bytes)
+                for offset, page_bytes in enumerate(
+                    self._disk.read_run(self._name, start, count)
+                )
+            ]
+            parts = [part for part in parts if len(part)]
+            if not parts:
+                continue
+            yield parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def _require_dtype(self) -> np.dtype:
+        if self._dtype is None:
+            raise TypeError(
+                f"codec {type(self._codec).__name__} declares no structured dtype; "
+                "the array surface is unavailable for this file"
+            )
+        return self._dtype
+
+    def _decode_page_cached(self, page_no: int, page_bytes: bytes) -> np.ndarray:
+        pool = self._disk.buffer_pool
+        decoded = pool.get_decoded(self._name, page_no)
+        if decoded is None:
+            decoded = decode_page_array(self._dtype, page_bytes)
+            pool.put_decoded(self._name, page_no, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
@@ -281,3 +419,12 @@ class PagedFile(Generic[RecordT]):
             chunk = records[start : start + self._records_per_page]
             pages.append(encode_page(self._codec, chunk, self._disk.page_size))
         return pages
+
+    def _encode_group_array(self, records: np.ndarray) -> list[bytes]:
+        dtype = self._require_dtype()
+        if records.dtype != dtype:
+            raise TypeError(
+                f"array dtype {records.dtype} does not match the file's "
+                f"record dtype {dtype}"
+            )
+        return paginate_array(records, self._disk.page_size)

@@ -120,6 +120,33 @@ class TestCLI:
         payload = json.loads(output.read_text())
         assert payload["ids_distribution"] == "heavy_hitter"
 
+    def test_bench_command_writes_snapshot(self, capsys, tmp_path, micro_scale, monkeypatch):
+        monkeypatch.setitem(SCALES, "micro", micro_scale)
+        output = tmp_path / "BENCH_micro.json"
+        exit_code = main(
+            [
+                "bench",
+                "--scale",
+                "micro",
+                "--queries",
+                "8",
+                "--repeats",
+                "1",
+                "--json",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "perf snapshot" in out
+        payload = json.loads(output.read_text())
+        assert payload["kind"] == "repro-perf-snapshot"
+        assert payload["scale"] == "micro"
+        for phase in ("build", "first_touch", "steady_scalar", "steady_columnar", "steady_batch"):
+            assert payload["phases"][phase]["wall_seconds"] >= 0
+        assert payload["speedups"]["sequential_columnar_vs_scalar"] > 0
+        assert payload["pages"]["raw"] > 0
+
     def test_unknown_command_fails(self):
         with pytest.raises(SystemExit):
             main(["figure9000"])

@@ -148,6 +148,31 @@ class TestWriteGroupsInPlace:
         assert int_file.read_group(runs[0]) == [1]
         assert sorted(int_file.read_group(runs[1])) == [2, 3]
 
+    def test_reuse_overflow_split_assigns_exact_pages(self, int_file):
+        """A group straddling the reuse boundary gets reused pages first and
+        its missing tail from the bulk append, in group order."""
+        parent = int_file.append_group(list(range(1022)))  # pages 0,1 (511/page)
+        assert parent.page_numbers() == [0, 1]
+        tail_start = int_file.num_pages()
+        # Three one-page groups: the first reuses page 0, the second reuses
+        # page 1, the third finds the free list empty and overflows entirely.
+        groups = [list(range(400)), list(range(400, 800)), list(range(800, 1200))]
+        runs = int_file.write_groups(groups, reuse=parent.extents)
+        assert runs[0].page_numbers() == [0]
+        assert runs[1].page_numbers() == [1]
+        assert runs[2].page_numbers() == [tail_start]
+        for group, run in zip(groups, runs):
+            assert int_file.read_group(run) == group
+
+    def test_single_group_split_between_reuse_and_overflow(self, int_file):
+        """One group larger than the reused extents combines both kinds of pages."""
+        parent = int_file.append_group(list(range(511)))  # exactly one page
+        tail_start = int_file.num_pages()
+        records = list(range(1500))  # needs three pages
+        (run,) = int_file.write_groups([records], reuse=parent.extents)
+        assert run.page_numbers() == [0, tail_start, tail_start + 1]
+        assert int_file.read_group(run) == records
+
 
 class TestSpatialObjectFile:
     def test_spatial_objects_roundtrip(self, disk):
