@@ -137,6 +137,14 @@ BATCH_SIZE = 32
 #: lower bars because wall-clock ratios wobble under noisy neighbours).
 BATCH_SPEEDUP_MIN = float(os.environ.get("REPRO_BATCH_SPEEDUP_MIN", "2.0"))
 SEQ_SPEEDUP_MIN = float(os.environ.get("REPRO_SEQ_SPEEDUP_MIN", "1.5"))
+#: The thread-parallel bar is opt-in (``REPRO_PAR_SPEEDUP_MIN=1.3`` on
+#: dedicated multi-core hardware, a laxer value in CI): thread fan-out
+#: cannot beat the serial batch on a single core, so unlike the two bars
+#: above there is no meaningful host-independent default.  Unset or
+#: non-positive means "measure and report, assert correctness only".
+PAR_SPEEDUP_MIN = float(os.environ.get("REPRO_PAR_SPEEDUP_MIN", "0"))
+PAR_WORKERS = 4
+PAR_BUFFER_SHARDS = 8
 
 #: The scalar reference configuration used as the speedup baseline.
 SCALAR_CONFIG = OdysseyConfig(columnar=False)
@@ -260,6 +268,51 @@ def test_batched_execution_speedup(batch_suite, batch_workload):
         f"batched execution speedup {speedup:.2f}x at batch size {BATCH_SIZE} "
         f"is below the {BATCH_SPEEDUP_MIN:g}x acceptance bar"
     )
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_parallel_batch_speedup(batch_suite, batch_workload):
+    """workers=4 batched execution vs workers=1, over a sharded buffer pool.
+
+    Always checks correctness (the parallel pass must return the same
+    per-query hit counts as the serial batch — the full bit-identity
+    oracle lives in ``tests/``); the wall-clock bar is enforced only when
+    ``REPRO_PAR_SPEEDUP_MIN`` is set, because thread fan-out can only win
+    on multi-core hosts (CI's parallel smoke job sets the bar; a 1-core
+    container cannot).
+    """
+    engines = {
+        workers: SpaceOdyssey(
+            batch_suite.fork(buffer_shards=PAR_BUFFER_SHARDS).catalog
+        )
+        for workers in (1, PAR_WORKERS)
+    }
+
+    def run_pass(workers: int) -> list[int]:
+        counts: list[int] = []
+        for offset in range(0, len(batch_workload), BATCH_SIZE):
+            result = engines[workers].query_batch(
+                batch_workload[offset : offset + BATCH_SIZE], workers=workers
+            )
+            counts.extend(result.hit_counts())
+        return counts
+
+    # Converge both engines (identically, per the differential oracle),
+    # cross-checking answers on the way, then time best-of-three passes.
+    assert run_pass(1) == run_pass(PAR_WORKERS)
+    serial_seconds = best_of(3, lambda: timed(lambda: run_pass(1)))
+    parallel_seconds = best_of(3, lambda: timed(lambda: run_pass(PAR_WORKERS)))
+    speedup = serial_seconds / parallel_seconds
+    print(
+        f"\nparallel batch({BATCH_SIZE}): workers=1 {serial_seconds * 1e3:.1f} ms, "
+        f"workers={PAR_WORKERS} {parallel_seconds * 1e3:.1f} ms, "
+        f"speedup {speedup:.2f}x (cpus={os.cpu_count()})"
+    )
+    if PAR_SPEEDUP_MIN > 0:
+        assert speedup >= PAR_SPEEDUP_MIN, (
+            f"parallel speedup {speedup:.2f}x at workers={PAR_WORKERS} is below "
+            f"the {PAR_SPEEDUP_MIN:g}x bar (REPRO_PAR_SPEEDUP_MIN)"
+        )
 
 
 @pytest.mark.benchmark(group="micro-batch")

@@ -157,6 +157,7 @@ def figure4(
     datasets_queried: tuple[int, ...] = (1, 3, 5, 7, 9),
     approaches: tuple[str, ...] = FIGURE4_APPROACHES,
     batch_size: int = 1,
+    workers: int = 1,
 ) -> Figure4Result:
     """Reproduce one panel of Figure 4.
 
@@ -165,7 +166,11 @@ def figure4(
     Panel (d): ``"uniform"`` with ``ranges="uniform"``.
 
     ``batch_size`` executes the workload in chunks of that many queries
-    (approaches with a ``query_batch`` method use their batched engine).
+    (approaches with a ``query_batch`` method use their batched engine);
+    ``workers`` threads execute each chunk when above 1.  Results are
+    identical at any worker count, but parallel page fetches may shift
+    the simulated I/O timings slightly run-to-run — keep ``workers=1``
+    for strictly deterministic figure numbers.
     """
     scale = get_scale(scale)
     valid_ks = tuple(k for k in datasets_queried if 1 <= k <= scale.n_datasets)
@@ -195,7 +200,9 @@ def figure4(
         for approach_name in approaches:
             suite = master_suite.fork()
             approach = make_approach(approach_name, suite, scale)
-            run = run_approach(approach, workload, suite.disk, batch_size=batch_size)
+            run = run_approach(
+                approach, workload, suite.disk, batch_size=batch_size, workers=workers
+            )
             point.cells[approach_name] = Figure4Cell(
                 approach=approach_name,
                 indexing_seconds=run.indexing_seconds,
@@ -266,6 +273,7 @@ def _figure5_panel(
     datasets_per_query: int = 5,
     n_cluster_centers: int | None = None,
     batch_size: int = 1,
+    workers: int = 1,
 ) -> Figure5Result:
     scale = get_scale(scale)
     datasets_per_query = min(datasets_per_query, scale.n_datasets)
@@ -289,7 +297,9 @@ def _figure5_panel(
     for approach_name in approaches:
         suite = master_suite.fork()
         approach = make_approach(approach_name, suite, scale)
-        run = run_approach(approach, workload, suite.disk, batch_size=batch_size)
+        run = run_approach(
+            approach, workload, suite.disk, batch_size=batch_size, workers=workers
+        )
         result.series[approach_name] = Figure5Series(
             approach=approach_name,
             indexing_seconds=run.indexing_seconds,
@@ -302,6 +312,7 @@ def figure5a(
     scale: str | ExperimentScale = "small",
     approaches: tuple[str, ...] = FIGURE5_APPROACHES,
     batch_size: int = 1,
+    workers: int = 1,
 ) -> Figure5Result:
     """Figure 5a: clustered ranges, self-similar dataset ids, 5 datasets per query."""
     return _figure5_panel(
@@ -311,6 +322,7 @@ def figure5a(
         scale=scale,
         approaches=approaches,
         batch_size=batch_size,
+        workers=workers,
     )
 
 
@@ -318,6 +330,7 @@ def figure5b(
     scale: str | ExperimentScale = "small",
     approaches: tuple[str, ...] = FIGURE5_APPROACHES,
     batch_size: int = 1,
+    workers: int = 1,
 ) -> Figure5Result:
     """Figure 5b: uniform ranges, uniform dataset ids, 5 datasets per query."""
     return _figure5_panel(
@@ -327,6 +340,7 @@ def figure5b(
         scale=scale,
         approaches=approaches,
         batch_size=batch_size,
+        workers=workers,
     )
 
 
@@ -373,6 +387,7 @@ def figure5c(
     scale: str | ExperimentScale = "small",
     datasets_per_query: int = 5,
     batch_size: int = 1,
+    workers: int = 1,
 ) -> Figure5cResult:
     """Figure 5c: isolate the effect of merging partitions queried together.
 
@@ -410,7 +425,9 @@ def figure5c(
         suite = master_suite.fork()
         approach_name = "Odyssey" if enable_merging else "Odyssey-NoMerge"
         approach = make_approach(approach_name, suite, scale)
-        run = run_approach(approach, workload, suite.disk, batch_size=batch_size)
+        run = run_approach(
+            approach, workload, suite.disk, batch_size=batch_size, workers=workers
+        )
         runs[enable_merging] = [
             timing.simulated_seconds
             for timing in run.query_timings

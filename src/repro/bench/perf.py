@@ -16,9 +16,14 @@ One snapshot covers, per phase:
   the columnar hot path disabled (the scalar reference implementation);
 * **steady_columnar** — the same pass with the columnar-native engine;
 * **steady_batch** — the same workload through ``query_batch`` in chunks;
+* **steady_parallel** — a worker-count sweep of the same batched workload
+  through ``query_batch(..., workers=K)`` over a sharded buffer pool, one
+  entry per requested ``K`` (``workers=1`` is the serial-batch baseline
+  the parallel speedup is computed against);
 
-plus the derived speedups (columnar vs scalar, batch vs scalar) and page
-counts of every on-disk structure after convergence.
+plus the derived speedups (columnar vs scalar, batch vs scalar, best
+parallel worker count vs ``workers=1``) and page counts of every on-disk
+structure after convergence.
 """
 
 from __future__ import annotations
@@ -75,6 +80,8 @@ def run_perf_snapshot(
     seed: int = 23,
     repeats: int = 3,
     config: OdysseyConfig | None = None,
+    workers: tuple[int, ...] = (1, 2, 4),
+    buffer_shards: int = 8,
 ) -> dict[str, Any]:
     """Measure one perf snapshot and return it as a JSON-ready dict.
 
@@ -82,6 +89,12 @@ def run_perf_snapshot(
     uniform windows over ``datasets_per_query = 2`` combinations, seeded
     explicitly so snapshots are comparable run-to-run.  Steady-state
     passes are best-of-``repeats`` to shed scheduler noise.
+
+    ``workers`` is the worker-count sweep of the parallel-batch phase;
+    each count runs the batched workload through
+    ``query_batch(..., workers=K)`` on its own converged engine whose
+    disk uses ``buffer_shards`` lock-striped buffer-pool shards.  Pass an
+    empty tuple to skip the sweep.
     """
     scale = get_scale(scale)
     config = config or OdysseyConfig()
@@ -151,6 +164,28 @@ def run_perf_snapshot(
     run_batched()
     batch_seconds = best_of(repeats, lambda: timed(run_batched))
 
+    # Parallel-batch worker sweep: each worker count gets its own engine
+    # (converged identically — the oracle guarantees state equality) over
+    # a sharded buffer pool so lock striping is measured, not serialized.
+    sweep: list[dict[str, Any]] = []
+    for worker_count in workers:
+        forked = suite.fork(buffer_shards=buffer_shards)
+        engine = SpaceOdyssey(forked.catalog, config)
+
+        def run_parallel(k: int = worker_count, odyssey: SpaceOdyssey = engine) -> None:
+            for start in range(0, len(workload), batch_size):
+                odyssey.query_batch(workload[start : start + batch_size], workers=k)
+
+        run_parallel()  # converge + warm
+        seconds = best_of(repeats, lambda: timed(run_parallel))
+        sweep.append(
+            {
+                "workers": worker_count,
+                "wall_seconds": seconds,
+                "queries_per_second": len(workload) / seconds if seconds > 0 else None,
+            }
+        )
+
     for name, seconds in (
         ("steady_scalar", scalar_seconds),
         ("steady_columnar", columnar_seconds),
@@ -161,6 +196,12 @@ def run_perf_snapshot(
             "queries_per_second": len(workload) / seconds if seconds > 0 else None,
         }
     phases["steady_batch"]["batch_size"] = batch_size
+    if sweep:
+        phases["steady_parallel"] = {
+            "batch_size": batch_size,
+            "buffer_shards": buffer_shards,
+            "sweep": sweep,
+        }
 
     summary = columnar_engine.summary()
     disk = columnar_engine.disk
@@ -173,6 +214,15 @@ def run_perf_snapshot(
         "total_files": len(disk.list_files()),
     }
 
+    # The labelled speedup is only meaningful against a workers=1 entry;
+    # a sweep without one still records its timings but derives no ratio.
+    parallel_speedup: float | None = None
+    baseline = next((e for e in sweep if e["workers"] == 1), None)
+    if baseline is not None:
+        fastest = min(sweep, key=lambda e: e["wall_seconds"])
+        if fastest["wall_seconds"] > 0:
+            parallel_speedup = baseline["wall_seconds"] / fastest["wall_seconds"]
+
     return {
         "kind": "repro-perf-snapshot",
         "version": 1,
@@ -181,6 +231,7 @@ def run_perf_snapshot(
         "n_queries": n_queries,
         "batch_size": batch_size,
         "repeats": repeats,
+        "workers": list(workers),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "platform": {
             "python": platform.python_version(),
@@ -205,6 +256,7 @@ def run_perf_snapshot(
             "batch_vs_sequential_columnar": columnar_seconds / batch_seconds
             if batch_seconds > 0
             else None,
+            "parallel_best_vs_workers1": parallel_speedup,
         },
     }
 
@@ -235,6 +287,13 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
             f"{name:<18}{phase['wall_seconds']:>14.3f}"
             + (f"{qps:>12.1f}" if qps else f"{'-':>12}")
         )
+    for entry in phases.get("steady_parallel", {}).get("sweep", []):
+        name = f"parallel w={entry['workers']}"
+        qps = entry.get("queries_per_second")
+        lines.append(
+            f"{name:<18}{entry['wall_seconds']:>14.3f}"
+            + (f"{qps:>12.1f}" if qps else f"{'-':>12}")
+        )
     def _ratio(value: float | None) -> str:
         return f"{value:.2f}x" if value is not None else "n/a"
 
@@ -244,6 +303,11 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
         f"sequential columnar {_ratio(speedups['sequential_columnar_vs_scalar'])}, "
         f"batch {_ratio(speedups['batch_vs_scalar'])} vs the scalar reference"
     )
+    if speedups.get("parallel_best_vs_workers1") is not None:
+        lines.append(
+            "parallel batch: best worker count is "
+            f"{_ratio(speedups['parallel_best_vs_workers1'])} vs workers=1"
+        )
     lines.append(
         f"pages: raw {snapshot['pages']['raw']}, "
         f"partitions {snapshot['pages']['partitions']}, "

@@ -107,6 +107,7 @@ def run_approach(
     clear_cache_before_queries: bool = True,
     validate_against: MultiDatasetIndex | None = None,
     batch_size: int = 1,
+    workers: int = 1,
 ) -> ApproachResult:
     """Build (if needed) and run every query of the workload.
 
@@ -133,9 +134,24 @@ def run_approach(
         otherwise queries of a chunk run one at a time.  A batch's
         simulated time is split evenly over its queries in
         :attr:`ApproachResult.query_timings`.
+    workers:
+        Thread count for batched chunks: values above 1 are forwarded to
+        ``query_batch(chunk, workers=...)`` (Space Odyssey's parallel
+        executor) and require ``batch_size > 1``.  Results, reports and
+        adaptive state are identical to ``workers=1``, but the simulated
+        I/O *timings* may vary slightly run-to-run: threads fetch pages
+        in scheduler-dependent order, which shifts head-position
+        classification and cache hit patterns (see
+        :mod:`repro.core.parallel`).  For strictly deterministic
+        simulated figures — the paper-reproduction numbers — keep
+        ``workers=1``.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers > 1 and batch_size == 1:
+        raise ValueError("workers > 1 requires batch_size > 1 (nothing to fan out)")
     result = ApproachResult(approach=approach.name)
     wall_start = time.perf_counter()
 
@@ -156,7 +172,11 @@ def run_approach(
             disk.reset_head()
         if batched:
             before = disk.stats.snapshot()
-            batch_result = approach.query_batch(chunk)
+            batch_result = (
+                approach.query_batch(chunk, workers=workers)
+                if workers > 1
+                else approach.query_batch(chunk)
+            )
             delta = disk.stats.delta_since(before)
             share = delta.simulated_seconds / len(chunk)
             answers = list(batch_result.results)

@@ -19,9 +19,14 @@ Execute workloads through the batched engine, 32 queries at a time::
 
     python -m repro.cli fig5b --scale small --batch-size 32
 
-Record a machine-readable wall-clock performance snapshot::
+Same, with each batch fanned across four worker threads::
 
-    python -m repro.cli bench --scale small --json BENCH_small.json
+    python -m repro.cli fig5b --scale small --batch-size 32 --workers 4
+
+Record a machine-readable wall-clock performance snapshot (including a
+parallel-batch worker sweep)::
+
+    python -m repro.cli bench --scale small --json BENCH_small.json --workers 1,2,4
 """
 
 from __future__ import annotations
@@ -39,6 +44,20 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return number
+
+
+def _positive_int_list(value: str) -> tuple[int, ...]:
+    try:
+        numbers = tuple(int(part) for part in value.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be comma-separated positive integers, got {value!r}"
+        ) from None
+    if not numbers or any(number < 1 for number in numbers):
+        raise argparse.ArgumentTypeError(
+            f"must be comma-separated positive integers, got {value!r}"
+        )
+    return numbers
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -60,6 +79,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help=(
             "execute the workload in batches of this many queries "
             "(Space Odyssey uses its vectorized batch engine; default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "threads per batch (requires --batch-size > 1; Space Odyssey "
+            "uses its thread-parallel batch executor; results are "
+            "identical, simulated timings may wobble slightly; default: 1)"
         ),
     )
 
@@ -132,6 +161,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=3,
         help="best-of repeats per steady-state pass (default: 3)",
     )
+    bench.add_argument(
+        "--workers",
+        type=_positive_int_list,
+        default=(1, 2, 4),
+        metavar="K1,K2,...",
+        help=(
+            "comma-separated worker counts for the parallel-batch sweep "
+            "recorded in the snapshot (default: 1,2,4)"
+        ),
+    )
 
     everything = sub.add_parser("all", help="run every figure and write JSON results")
     everything.add_argument("--scale", default="small", choices=sorted(SCALES))
@@ -141,6 +180,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1,
         help="execute every workload in batches of this many queries (default: 1)",
+    )
+    everything.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="threads per batch for every workload (default: 1)",
     )
     return parser
 
@@ -153,7 +198,14 @@ def _maybe_save(result, output: str | None) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-bench`` console script."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if (
+        args.command != "bench"
+        and getattr(args, "workers", 1) > 1
+        and args.batch_size == 1
+    ):
+        parser.error("--workers > 1 requires --batch-size > 1 (nothing to fan out)")
 
     if args.command == "fig4":
         ks = tuple(int(part) for part in args.datasets_queried.split(",") if part.strip())
@@ -163,19 +215,26 @@ def main(argv: list[str] | None = None) -> int:
             scale=args.scale,
             datasets_queried=ks,
             batch_size=args.batch_size,
+            workers=args.workers,
         )
         print(reporting.format_figure4_table(result))
         _maybe_save(result, args.output)
     elif args.command == "fig5a":
-        result = experiments.figure5a(scale=args.scale, batch_size=args.batch_size)
+        result = experiments.figure5a(
+            scale=args.scale, batch_size=args.batch_size, workers=args.workers
+        )
         print(reporting.format_figure5_summary(result))
         _maybe_save(result, args.output)
     elif args.command == "fig5b":
-        result = experiments.figure5b(scale=args.scale, batch_size=args.batch_size)
+        result = experiments.figure5b(
+            scale=args.scale, batch_size=args.batch_size, workers=args.workers
+        )
         print(reporting.format_figure5_summary(result))
         _maybe_save(result, args.output)
     elif args.command == "fig5c":
-        result = experiments.figure5c(scale=args.scale, batch_size=args.batch_size)
+        result = experiments.figure5c(
+            scale=args.scale, batch_size=args.batch_size, workers=args.workers
+        )
         print(reporting.format_figure5c_summary(result))
         _maybe_save(result, args.output)
     elif args.command == "bench":
@@ -184,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
             n_queries=args.queries,
             batch_size=args.batch_size,
             repeats=args.repeats,
+            workers=args.workers,
         )
         print(perf.format_snapshot_summary(snapshot))
         path = perf.save_snapshot(
@@ -193,22 +253,31 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "all":
         output_dir = Path(args.output_dir)
         batch = args.batch_size
+        workers = args.workers
         panels = {
             "fig4a": lambda: experiments.figure4(
-                "zipf", "clustered", args.scale, batch_size=batch
+                "zipf", "clustered", args.scale, batch_size=batch, workers=workers
             ),
             "fig4b": lambda: experiments.figure4(
-                "heavy_hitter", "clustered", args.scale, batch_size=batch
+                "heavy_hitter", "clustered", args.scale, batch_size=batch,
+                workers=workers,
             ),
             "fig4c": lambda: experiments.figure4(
-                "self_similar", "clustered", args.scale, batch_size=batch
+                "self_similar", "clustered", args.scale, batch_size=batch,
+                workers=workers,
             ),
             "fig4d": lambda: experiments.figure4(
-                "uniform", "uniform", args.scale, batch_size=batch
+                "uniform", "uniform", args.scale, batch_size=batch, workers=workers
             ),
-            "fig5a": lambda: experiments.figure5a(args.scale, batch_size=batch),
-            "fig5b": lambda: experiments.figure5b(args.scale, batch_size=batch),
-            "fig5c": lambda: experiments.figure5c(args.scale, batch_size=batch),
+            "fig5a": lambda: experiments.figure5a(
+                args.scale, batch_size=batch, workers=workers
+            ),
+            "fig5b": lambda: experiments.figure5b(
+                args.scale, batch_size=batch, workers=workers
+            ),
+            "fig5c": lambda: experiments.figure5c(
+                args.scale, batch_size=batch, workers=workers
+            ),
         }
         for name, runner in panels.items():
             print(f"=== {name} ===")

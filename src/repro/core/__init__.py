@@ -30,11 +30,16 @@ the whole batch with the vectorized kernels of
 shared read set layered on the buffer pool, and statistics, refinement and
 merging are applied once per batch — with per-query results and the
 post-batch adaptive state guaranteed identical to sequential execution.
+:mod:`repro.core.parallel` fans the read-only phases of a batch across a
+thread pool (``query_batch(..., workers=K)``) while keeping the adaptive
+updates in a single deterministic writer phase, bit-identical to the
+serial batch.
 """
 
 from repro.core.batch import BatchResult, QueryBatch
 from repro.core.config import OdysseyConfig
 from repro.core.odyssey import SpaceOdyssey
+from repro.core.parallel import ParallelExecutor
 from repro.core.partition import PartitionNode, PartitionTree
 from repro.core.query_processor import QueryReport
 from repro.core.statistics import StatisticsCollector
@@ -42,6 +47,7 @@ from repro.core.statistics import StatisticsCollector
 __all__ = [
     "BatchResult",
     "OdysseyConfig",
+    "ParallelExecutor",
     "PartitionNode",
     "PartitionTree",
     "QueryBatch",

@@ -304,6 +304,82 @@ class BatchExecutor:
     # Phase 3 — retrieval through the shared read set, vectorized filtering
     # ------------------------------------------------------------------ #
 
+    def _route_decisions(
+        self, batch: QueryBatch
+    ) -> dict[frozenset[int], RoutingDecision]:
+        """Routing resolved once per combination.
+
+        The merge directory cannot change between retrieval and the replay
+        phase, so all reads of the batch see the same directory state.
+        """
+        return {
+            combination: choose_route(self._processor.directory, combination)
+            for combination in batch.groups()
+        }
+
+    def _filter_one_query(
+        self,
+        query: BatchQuery,
+        needed0: dict[tuple[int, int], list[PartitionNode]],
+        decisions: dict[frozenset[int], RoutingDecision],
+        read_set: BatchReadSet,
+    ) -> tuple[list[SpatialObject], int]:
+        """One query's retrieval and filtering against the start-of-batch trees.
+
+        Returns ``(hits, records examined)``.  The plan construction, the
+        on-disk-order sorting and the per-group collect order are all
+        deterministic functions of ``(query, needed0, decisions)``, so the
+        hits come back in the same order no matter which thread — or how
+        many threads — execute the queries of a batch.
+        """
+        processor = self._processor
+        trees = processor.live_trees
+        decision = decisions[query.requested]
+        info = decision.merge_info
+        merge_plan: list[tuple[int, PartitionNode]] = []
+        individual_plan: list[tuple[int, PartitionNode]] = []
+        for dataset_id in sorted(query.requested):
+            for leaf in needed0[(query.index, dataset_id)]:
+                use_merge = (
+                    info is not None
+                    and dataset_id in decision.covered_datasets
+                    and info.has_segment(leaf.key, dataset_id)
+                )
+                if use_merge:
+                    merge_plan.append((dataset_id, leaf))
+                else:
+                    individual_plan.append((dataset_id, leaf))
+        q_lo, q_hi = box_to_arrays(query.box)
+        hits: list[SpatialObject] = []
+        count = 0
+
+        def _collect(group: DecodedGroup, dataset_id: int) -> int:
+            mask = (group.dataset_ids == dataset_id) & intersect_mask(
+                q_lo, q_hi, group.lo, group.hi
+            )
+            hits.extend(group.materialize(mask))
+            return group.n_records
+
+        if merge_plan and info is not None:
+            merge_file = processor.merger.merge_file(info.combination)
+            merge_plan.sort(
+                key=lambda item: QueryProcessor._segment_start(
+                    info, item[1].key, item[0]
+                )
+            )
+            for dataset_id, leaf in merge_plan:
+                group = read_set.read(merge_file, info.segment(leaf.key, dataset_id))
+                count += _collect(group, dataset_id)
+        individual_plan.sort(
+            key=lambda item: (item[0], QueryProcessor._partition_start(item[1]))
+        )
+        for dataset_id, leaf in individual_plan:
+            if leaf.run is None or leaf.run.n_records == 0:
+                continue
+            group = read_set.read(trees[dataset_id].file, leaf.run)
+            count += _collect(group, dataset_id)
+        return hits, count
+
     def _read_and_filter(
         self,
         batch: QueryBatch,
@@ -312,65 +388,15 @@ class BatchExecutor:
     ) -> tuple[list[list[SpatialObject]], list[int], list[BufferCounters]]:
         """Read every needed group once, filter each query with one mask each."""
         processor = self._processor
-        trees = processor.live_trees
         disk = processor.catalog.datasets()[0].disk
         pool = disk.buffer_pool
-        # Routing is resolved once per combination: the merge directory
-        # cannot change between here and the replay phase, and all reads of
-        # the batch see the same directory state.
-        decisions: dict[frozenset[int], RoutingDecision] = {
-            combination: choose_route(processor.directory, combination)
-            for combination in batch.groups()
-        }
+        decisions = self._route_decisions(batch)
         results: list[list[SpatialObject]] = [[] for _ in batch.queries]
         examined: list[int] = [0 for _ in batch.queries]
         cache_deltas: list[BufferCounters] = [BufferCounters() for _ in batch.queries]
         for query in batch.queries:
             cache_start = pool.counters()
-            decision = decisions[query.requested]
-            info = decision.merge_info
-            merge_plan: list[tuple[int, PartitionNode]] = []
-            individual_plan: list[tuple[int, PartitionNode]] = []
-            for dataset_id in sorted(query.requested):
-                for leaf in needed0[(query.index, dataset_id)]:
-                    use_merge = (
-                        info is not None
-                        and dataset_id in decision.covered_datasets
-                        and info.has_segment(leaf.key, dataset_id)
-                    )
-                    if use_merge:
-                        merge_plan.append((dataset_id, leaf))
-                    else:
-                        individual_plan.append((dataset_id, leaf))
-            q_lo, q_hi = box_to_arrays(query.box)
-            hits: list[SpatialObject] = []
-            count = 0
-
-            def _collect(group: DecodedGroup, dataset_id: int) -> int:
-                mask = (group.dataset_ids == dataset_id) & intersect_mask(
-                    q_lo, q_hi, group.lo, group.hi
-                )
-                hits.extend(group.materialize(mask))
-                return group.n_records
-
-            if merge_plan and info is not None:
-                merge_file = processor.merger.merge_file(info.combination)
-                merge_plan.sort(
-                    key=lambda item: QueryProcessor._segment_start(
-                        info, item[1].key, item[0]
-                    )
-                )
-                for dataset_id, leaf in merge_plan:
-                    group = read_set.read(merge_file, info.segment(leaf.key, dataset_id))
-                    count += _collect(group, dataset_id)
-            individual_plan.sort(
-                key=lambda item: (item[0], QueryProcessor._partition_start(item[1]))
-            )
-            for dataset_id, leaf in individual_plan:
-                if leaf.run is None or leaf.run.n_records == 0:
-                    continue
-                group = read_set.read(trees[dataset_id].file, leaf.run)
-                count += _collect(group, dataset_id)
+            hits, count = self._filter_one_query(query, needed0, decisions, read_set)
             disk.charge_cpu_records(count)
             results[query.index] = hits
             examined[query.index] = count

@@ -130,7 +130,7 @@ class SpaceOdyssey(MultiDatasetIndex):
         """Execute a range query over the requested datasets."""
         return self._processor.execute(box, dataset_ids)
 
-    def query_batch(self, queries) -> "BatchResult":
+    def query_batch(self, queries, *, workers: int | None = None) -> "BatchResult":
         """Execute a batch of range queries together (see :mod:`repro.core.batch`).
 
         ``queries`` is an iterable of ``(box, dataset_ids)`` pairs,
@@ -145,8 +145,17 @@ class SpaceOdyssey(MultiDatasetIndex):
         within a query's result list, and ``QueryReport.objects_examined``
         may differ because the batch reads against start-of-batch trees
         (see :mod:`repro.core.batch`).
+
+        ``workers=K`` (``K > 1``) executes the batch through the
+        thread-parallel engine (:mod:`repro.core.parallel`): overlap
+        resolution fans out per combination group and page decode +
+        filtering per query, while all adaptive updates replay through the
+        same single-threaded deterministic writer phase — results (hit
+        order included), reports, adaptive state and on-disk bytes are
+        bit-identical to ``workers=1``.  Pair it with a sharded buffer
+        pool (``Disk(buffer_shards=...)``) on multi-core hosts.
         """
-        return self._processor.execute_batch(queries)
+        return self._processor.execute_batch(queries, workers=workers)
 
     # ------------------------------------------------------------------ #
     # Introspection

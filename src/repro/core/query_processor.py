@@ -23,6 +23,7 @@ without re-deriving it from disk counters.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -75,7 +76,18 @@ class QueryReport:
 
 
 class QueryProcessor:
-    """Coordinates the Adaptor, Statistics Collector and Merger per query."""
+    """Coordinates the Adaptor, Statistics Collector and Merger per query.
+
+    Concurrency model: top-level operations (:meth:`execute`,
+    :meth:`execute_batch`) serialize on one internal gate lock, so several
+    application threads may share one engine without corrupting the
+    adaptive state — interleaved calls execute in *some* serial order, and
+    every query's answer is exact regardless of that order (results depend
+    only on the data and the query window, never on refinement state).
+    Parallelism lives *inside* a batch: ``execute_batch(..., workers=K)``
+    fans the read-only phases of one batch across ``K`` threads while the
+    gate is held (see :mod:`repro.core.parallel`).
+    """
 
     def __init__(
         self,
@@ -96,6 +108,7 @@ class QueryProcessor:
         self._trees: dict[int, PartitionTree] = {}
         self._queries_executed = 0
         self._last_report: QueryReport | None = None
+        self._gate = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -169,6 +182,10 @@ class QueryProcessor:
 
     def execute(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
         """Execute one range query over the requested datasets."""
+        with self._gate:
+            return self._execute(box, dataset_ids)
+
+    def _execute(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
         requested = frozenset(dataset_ids)
         if not requested:
             raise ValueError("a query must request at least one dataset")
@@ -312,18 +329,29 @@ class QueryProcessor:
         self.note_executed(report)
         return results
 
-    def execute_batch(self, queries) -> "BatchResult":
+    def execute_batch(self, queries, workers: int | None = None) -> "BatchResult":
         """Execute a batch of queries through the batched engine.
 
         See :mod:`repro.core.batch` for the execution model; result sets
         and post-batch adaptive state are identical to calling
         :meth:`execute` once per query in order (hit order within a
         result and ``QueryReport.objects_examined`` may differ).
+
+        ``workers`` selects the thread-parallel executor
+        (:mod:`repro.core.parallel`): ``None`` or ``1`` runs the serial
+        batch engine; ``K > 1`` fans the read-only phases across ``K``
+        threads with results, reports, adaptive state and on-disk bytes
+        bit-identical to the serial batch.
         """
         from repro.core.batch import BatchExecutor, QueryBatch
 
         batch = queries if isinstance(queries, QueryBatch) else QueryBatch(queries)
-        return BatchExecutor(self).run(batch)
+        with self._gate:
+            if workers is not None and workers != 1:
+                from repro.core.parallel import ParallelExecutor
+
+                return ParallelExecutor(self, workers).run(batch)
+            return BatchExecutor(self).run(batch)
 
     @staticmethod
     def _segment_start(info, key: PartitionKey, dataset_id: int) -> int:

@@ -21,7 +21,7 @@ substrate that the rest of the library is built on:
 """
 
 from repro.storage.backend import FileSystemBackend, InMemoryBackend, StorageBackend
-from repro.storage.buffer import BufferPool
+from repro.storage.buffer import BufferCounters, BufferPool, ShardedBufferPool
 from repro.storage.codec import FixedRecordCodec, RecordCodec
 from repro.storage.cost_model import AccessKind, DiskModel, IOStats
 from repro.storage.disk import Disk
@@ -31,6 +31,7 @@ from repro.storage.pagedfile import PagedFile, PageExtent, StoredRun
 __all__ = [
     "PAGE_SIZE",
     "AccessKind",
+    "BufferCounters",
     "BufferPool",
     "Disk",
     "DiskModel",
@@ -41,6 +42,7 @@ __all__ = [
     "PageExtent",
     "PagedFile",
     "RecordCodec",
+    "ShardedBufferPool",
     "StorageBackend",
     "StoredRun",
 ]

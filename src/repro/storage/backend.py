@@ -206,14 +206,25 @@ class FileSystemBackend(StorageBackend):
 
     def read(self, name: str, page_no: int) -> bytes:
         path = self._require(name)
-        total = path.stat().st_size // self._page_size
-        if not 0 <= page_no < total:
+        if page_no < 0:
+            raise StorageError(f"page {page_no} out of range for {name!r}")
+        with path.open("rb") as handle:
+            handle.seek(page_no * self._page_size)
+            data = handle.read(self._page_size)
+        if not data:
+            total = path.stat().st_size // self._page_size
             raise StorageError(
                 f"page {page_no} out of range for {name!r} with {total} pages"
             )
-        with path.open("rb") as handle:
-            handle.seek(page_no * self._page_size)
-            return handle.read(self._page_size)
+        if len(data) < self._page_size:
+            # A trailing partial page means the OS file was truncated out
+            # from under us (or written by something that is not a page
+            # store); surface it instead of returning short bytes.
+            raise StorageError(
+                f"short page {page_no} in {name!r}: got {len(data)} of "
+                f"{self._page_size} bytes"
+            )
+        return data
 
     def write(self, name: str, page_no: int, data: bytes) -> None:
         path = self._require(name)

@@ -20,10 +20,27 @@ byte page is resident, so it never changes which disk accesses happen or
 how they are charged; it only lets hot partitions skip re-running
 ``np.frombuffer`` page decoding.  Entries are dropped together with their
 byte page (eviction, overwrite, file invalidation, :meth:`clear`).
+
+Sharding
+--------
+:class:`ShardedBufferPool` splits the page budget over N independent
+:class:`BufferPool` shards, each guarded by its own lock, with pages routed
+to shards by a deterministic hash of ``(file_name, page_no)``.  It exists
+for the thread-parallel batch executor (:mod:`repro.core.parallel`): with
+lock striping, concurrent readers touching different pages never contend
+on one global cache lock.  Routing uses ``zlib.crc32`` rather than Python's
+``hash`` so shard assignment — and therefore eviction behaviour and the
+simulated I/O trace — is reproducible run-to-run regardless of
+``PYTHONHASHSEED``.  Note that per-shard LRU is not globally identical to
+one big LRU: a sharded pool of the same total capacity may evict different
+pages than ``BufferPool`` would, so differential tests always compare
+engines running the *same* pool configuration.
 """
 
 from __future__ import annotations
 
+import threading
+import zlib
 from dataclasses import dataclass, fields
 from collections import OrderedDict
 from typing import Any
@@ -103,8 +120,13 @@ class BufferPool:
         key = (file_name, page_no)
         if key in self._pages:
             self._pages.move_to_end(key)
-            # Overwrites invalidate any stale decoding of the old bytes.
-            self._decoded.pop(key, None)
+        # Any overwrite OR insert invalidates a decoding of older bytes.
+        # For fresh inserts the pop is normally a no-op ("decoded only
+        # while resident"), but under concurrency a put_decoded can race
+        # with eviction or file invalidation and orphan an entry; popping
+        # here guarantees such an orphan can never serve a stale decode
+        # after the page is re-cached (possibly with new bytes).
+        self._decoded.pop(key, None)
         self._pages[key] = data
         while len(self._pages) > self._capacity:
             victim, _ = self._pages.popitem(last=False)
@@ -197,3 +219,139 @@ class BufferPool:
             decoded_misses=self._decoded_misses,
             decoded_evictions=self._decoded_evictions,
         )
+
+
+class ShardedBufferPool:
+    """N lock-striped :class:`BufferPool` shards behind the pool interface.
+
+    The page budget is distributed as evenly as possible over the shards
+    (the first ``capacity_pages % n_shards`` shards get one extra page);
+    every page deterministically belongs to one shard, so all
+    invalidation, counting and LRU bookkeeping for it happens under that
+    shard's lock only.  The facade exposes the same surface as
+    :class:`BufferPool` — byte layer, decoded-array layer, aggregated
+    counters — so the :class:`~repro.storage.disk.Disk` and
+    :class:`~repro.storage.pagedfile.PagedFile` use either interchangeably.
+    """
+
+    def __init__(self, capacity_pages: int, n_shards: int = 8) -> None:
+        if capacity_pages < 0:
+            raise ValueError("capacity_pages must be non-negative")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self._capacity = capacity_pages
+        base, extra = divmod(capacity_pages, n_shards)
+        self._shards = [
+            BufferPool(base + (1 if index < extra else 0)) for index in range(n_shards)
+        ]
+        self._locks = [threading.Lock() for _ in range(n_shards)]
+
+    # -- routing ----------------------------------------------------------- #
+
+    def shard_of(self, file_name: str, page_no: int) -> int:
+        """The shard index one page belongs to (deterministic run-to-run)."""
+        return (zlib.crc32(file_name.encode()) + page_no * 2654435761) % len(
+            self._shards
+        )
+
+    # -- core operations --------------------------------------------------- #
+
+    def get(self, file_name: str, page_no: int) -> bytes | None:
+        """Return the cached page or ``None``; refreshes LRU position on hit."""
+        index = self.shard_of(file_name, page_no)
+        with self._locks[index]:
+            return self._shards[index].get(file_name, page_no)
+
+    def put(self, file_name: str, page_no: int, data: bytes) -> None:
+        """Insert or refresh a page in its shard, evicting LRU pages if full."""
+        index = self.shard_of(file_name, page_no)
+        with self._locks[index]:
+            self._shards[index].put(file_name, page_no, data)
+
+    def get_decoded(self, file_name: str, page_no: int) -> Any | None:
+        """The cached decoded array of one page, or ``None``."""
+        index = self.shard_of(file_name, page_no)
+        with self._locks[index]:
+            return self._shards[index].get_decoded(file_name, page_no)
+
+    def put_decoded(self, file_name: str, page_no: int, value: Any) -> None:
+        """Attach a decoded array to a page currently cached in its shard."""
+        index = self.shard_of(file_name, page_no)
+        with self._locks[index]:
+            self._shards[index].put_decoded(file_name, page_no, value)
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop every cached page of one file, across all shards."""
+        for lock, shard in zip(self._locks, self._shards):
+            with lock:
+                shard.invalidate_file(file_name)
+
+    def clear(self) -> None:
+        """Drop every cached page in every shard."""
+        for lock, shard in zip(self._locks, self._shards):
+            with lock:
+                shard.clear()
+
+    # -- introspection ----------------------------------------------------- #
+
+    @property
+    def capacity_pages(self) -> int:
+        """Total page budget across all shards."""
+        return self._capacity
+
+    @property
+    def n_shards(self) -> int:
+        """Number of lock-striped shards."""
+        return len(self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        file_name, page_no = key
+        return key in self._shards[self.shard_of(file_name, page_no)]
+
+    @property
+    def hits(self) -> int:
+        """Successful byte-layer lookups, summed over shards."""
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        """Failed byte-layer lookups, summed over shards."""
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        """Pages evicted under capacity pressure, summed over shards."""
+        return sum(shard.evictions for shard in self._shards)
+
+    @property
+    def decoded_hits(self) -> int:
+        """Decoded-array lookups served from the cache, summed over shards."""
+        return sum(shard.decoded_hits for shard in self._shards)
+
+    @property
+    def decoded_misses(self) -> int:
+        """Decoded-array lookups that had to decode, summed over shards."""
+        return sum(shard.decoded_misses for shard in self._shards)
+
+    @property
+    def decoded_evictions(self) -> int:
+        """Decoded arrays dropped with their byte page, summed over shards."""
+        return sum(shard.decoded_evictions for shard in self._shards)
+
+    def shard_counters(self) -> list[BufferCounters]:
+        """Per-shard counter snapshots (each taken under its shard's lock)."""
+        snapshots = []
+        for lock, shard in zip(self._locks, self._shards):
+            with lock:
+                snapshots.append(shard.counters())
+        return snapshots
+
+    def counters(self) -> BufferCounters:
+        """An aggregated snapshot of all shards' counters."""
+        total = BufferCounters()
+        for snapshot in self.shard_counters():
+            total = total + snapshot
+        return total

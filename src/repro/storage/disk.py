@@ -15,14 +15,29 @@ Every index structure in the library performs its page I/O through a
 
 Reads served by the cache do **not** move the simulated head, exactly as a
 cached read would not move a real disk arm.
+
+Thread safety
+-------------
+Every page access and every cost charge runs under one internal lock, so
+concurrent readers (the thread-parallel batch executor of
+:mod:`repro.core.parallel`) can never corrupt the head position, the
+:class:`~repro.storage.cost_model.IOStats` accumulators or the buffer
+pool's byte layer.  The lock covers only the cheap bookkeeping + page-copy
+work; page *decoding* and filtering happen outside it (in
+:class:`~repro.storage.pagedfile.PagedFile`), which is where parallel
+wall-clock time is actually spent.  With ``buffer_shards > 1`` the pool is
+a lock-striped :class:`~repro.storage.buffer.ShardedBufferPool`, so the
+decoded-array layer — accessed outside the disk lock — stripes its
+contention across shards too.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Sequence
 
 from repro.storage.backend import InMemoryBackend, StorageBackend
-from repro.storage.buffer import BufferPool
+from repro.storage.buffer import BufferPool, ShardedBufferPool
 from repro.storage.cost_model import AccessKind, DiskModel, IOStats
 
 
@@ -38,6 +53,12 @@ class Disk:
         parameters.
     buffer_pages:
         Capacity of the LRU buffer pool in pages.  ``0`` disables caching.
+    buffer_shards:
+        Number of lock-striped buffer-pool shards.  ``1`` (the default)
+        keeps the single global-LRU :class:`BufferPool` — bit-identical to
+        the pre-sharding behaviour; larger values use a
+        :class:`~repro.storage.buffer.ShardedBufferPool` so concurrent
+        readers stripe their cache contention.
     """
 
     def __init__(
@@ -45,6 +66,7 @@ class Disk:
         backend: StorageBackend | None = None,
         model: DiskModel | None = None,
         buffer_pages: int = 0,
+        buffer_shards: int = 1,
     ) -> None:
         self._model = model or DiskModel()
         self._backend = backend or InMemoryBackend(page_size=self._model.page_size)
@@ -53,9 +75,16 @@ class Disk:
                 "backend and model disagree on page size: "
                 f"{self._backend.page_size} vs {self._model.page_size}"
             )
-        self._buffer = BufferPool(buffer_pages)
+        if buffer_shards < 1:
+            raise ValueError("buffer_shards must be >= 1")
+        self._buffer: BufferPool | ShardedBufferPool = (
+            ShardedBufferPool(buffer_pages, buffer_shards)
+            if buffer_shards > 1
+            else BufferPool(buffer_pages)
+        )
         self._stats = IOStats()
         self._head: tuple[str, int] | None = None
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -82,17 +111,19 @@ class Disk:
         return self._stats
 
     @property
-    def buffer_pool(self) -> BufferPool:
-        """The LRU buffer pool."""
+    def buffer_pool(self) -> BufferPool | ShardedBufferPool:
+        """The LRU buffer pool (sharded when ``buffer_shards > 1``)."""
         return self._buffer
 
     def clear_cache(self) -> None:
         """Drop all cached pages (paper methodology: before every query)."""
-        self._buffer.clear()
+        with self._lock:
+            self._buffer.clear()
 
     def reset_head(self) -> None:
         """Forget the head position so the next access is charged a seek."""
-        self._head = None
+        with self._lock:
+            self._head = None
 
     # ------------------------------------------------------------------ #
     # File lifecycle
@@ -104,10 +135,11 @@ class Disk:
 
     def delete_file(self, name: str) -> None:
         """Delete a file, dropping any cached pages it had."""
-        self._backend.delete(name)
-        self._buffer.invalidate_file(name)
-        if self._head is not None and self._head[0] == name:
-            self._head = None
+        with self._lock:
+            self._backend.delete(name)
+            self._buffer.invalidate_file(name)
+            if self._head is not None and self._head[0] == name:
+                self._head = None
 
     def file_exists(self, name: str) -> bool:
         """Whether the file exists."""
@@ -131,16 +163,17 @@ class Disk:
 
     def read_page(self, name: str, page_no: int) -> bytes:
         """Read one page, charging a seek if the head is elsewhere."""
-        cached = self._buffer.get(name, page_no)
-        if cached is not None:
-            self._stats.record_cache_hit()
-            return cached
-        kind = self._classify(name, page_no)
-        data = self._backend.read(name, page_no)
-        self._charge_read(kind, 1)
-        self._advance_head(name, page_no)
-        self._buffer.put(name, page_no, data)
-        return data
+        with self._lock:
+            cached = self._buffer.get(name, page_no)
+            if cached is not None:
+                self._stats.record_cache_hit()
+                return cached
+            kind = self._classify(name, page_no)
+            data = self._backend.read(name, page_no)
+            self._charge_read(kind, 1)
+            self._advance_head(name, page_no)
+            self._buffer.put(name, page_no, data)
+            return data
 
     def read_run(self, name: str, start: int, count: int) -> list[bytes]:
         """Read ``count`` consecutive pages starting at ``start``.
@@ -152,59 +185,63 @@ class Disk:
         """
         if count < 0:
             raise ValueError("count must be non-negative")
-        pages: list[bytes] = []
-        uncached = 0
-        first_uncached: int | None = None
-        for offset in range(count):
-            page_no = start + offset
-            cached = self._buffer.get(name, page_no)
-            if cached is not None:
-                self._stats.record_cache_hit()
-                pages.append(cached)
-                continue
-            data = self._backend.read(name, page_no)
-            if first_uncached is None:
-                first_uncached = page_no
-            uncached += 1
-            pages.append(data)
-            self._buffer.put(name, page_no, data)
-        if uncached:
-            assert first_uncached is not None
-            kind = self._classify(name, first_uncached)
-            self._charge_read(kind, uncached)
-            self._advance_head(name, start + count - 1)
-        return pages
+        with self._lock:
+            pages: list[bytes] = []
+            uncached = 0
+            first_uncached: int | None = None
+            for offset in range(count):
+                page_no = start + offset
+                cached = self._buffer.get(name, page_no)
+                if cached is not None:
+                    self._stats.record_cache_hit()
+                    pages.append(cached)
+                    continue
+                data = self._backend.read(name, page_no)
+                if first_uncached is None:
+                    first_uncached = page_no
+                uncached += 1
+                pages.append(data)
+                self._buffer.put(name, page_no, data)
+            if uncached:
+                assert first_uncached is not None
+                kind = self._classify(name, first_uncached)
+                self._charge_read(kind, uncached)
+                self._advance_head(name, start + count - 1)
+            return pages
 
     def write_page(self, name: str, page_no: int, data: bytes) -> None:
         """Overwrite one page in place (write-through to the backend)."""
-        kind = self._classify(name, page_no)
-        self._backend.write(name, page_no, data)
-        self._charge_write(kind, 1)
-        self._advance_head(name, page_no)
-        self._buffer.put(name, page_no, self._backend.read(name, page_no))
+        with self._lock:
+            kind = self._classify(name, page_no)
+            self._backend.write(name, page_no, data)
+            self._charge_write(kind, 1)
+            self._advance_head(name, page_no)
+            self._buffer.put(name, page_no, self._backend.read(name, page_no))
 
     def append_page(self, name: str, data: bytes) -> int:
         """Append one page to the end of the file and return its number."""
-        next_page = self._backend.num_pages(name)
-        kind = self._classify(name, next_page)
-        page_no = self._backend.append(name, data)
-        self._charge_write(kind, 1)
-        self._advance_head(name, page_no)
-        self._buffer.put(name, page_no, self._backend.read(name, page_no))
-        return page_no
+        with self._lock:
+            next_page = self._backend.num_pages(name)
+            kind = self._classify(name, next_page)
+            page_no = self._backend.append(name, data)
+            self._charge_write(kind, 1)
+            self._advance_head(name, page_no)
+            self._buffer.put(name, page_no, self._backend.read(name, page_no))
+            return page_no
 
     def append_run(self, name: str, pages: Sequence[bytes]) -> int:
         """Append several pages; returns the page number of the first one."""
-        if not pages:
-            return self._backend.num_pages(name)
-        first = self._backend.num_pages(name)
-        kind = self._classify(name, first)
-        for data in pages:
-            page_no = self._backend.append(name, data)
-            self._buffer.put(name, page_no, self._backend.read(name, page_no))
-        self._charge_write(kind, len(pages))
-        self._advance_head(name, first + len(pages) - 1)
-        return first
+        with self._lock:
+            if not pages:
+                return self._backend.num_pages(name)
+            first = self._backend.num_pages(name)
+            kind = self._classify(name, first)
+            for data in pages:
+                page_no = self._backend.append(name, data)
+                self._buffer.put(name, page_no, self._backend.read(name, page_no))
+            self._charge_write(kind, len(pages))
+            self._advance_head(name, first + len(pages) - 1)
+            return first
 
     def scan_pages(self, name: str) -> Iterator[bytes]:
         """Yield every page of a file in order (charged as one sequential run)."""
@@ -220,11 +257,13 @@ class Disk:
 
     def charge_cpu_records(self, records: int) -> None:
         """Charge simulated CPU time for processing ``records`` records."""
-        self._stats.record_cpu(self._model.cpu_time_s(records))
+        with self._lock:
+            self._stats.record_cpu(self._model.cpu_time_s(records))
 
     def charge_cpu_seconds(self, seconds: float) -> None:
         """Charge an explicit amount of simulated CPU time."""
-        self._stats.record_cpu(seconds)
+        with self._lock:
+            self._stats.record_cpu(seconds)
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -108,3 +108,65 @@ def test_filesystem_backend_sanitises_names(tmp_path):
     assert backend.exists("raw/with:odd chars")
     backend.append("raw/with:odd chars", b"x")
     assert backend.num_pages("raw/with:odd chars") == 1
+
+
+class TestFileSystemErrorPaths:
+    """The error paths only a real filesystem can produce."""
+
+    @pytest.fixture
+    def fs(self, tmp_path):
+        return FileSystemBackend(tmp_path, page_size=128)
+
+    def test_missing_file_raises_everywhere(self, fs):
+        for operation in (
+            lambda: fs.num_pages("missing"),
+            lambda: fs.read("missing", 0),
+            lambda: fs.write("missing", 0, b"x"),
+            lambda: fs.append("missing", b"x"),
+            lambda: fs.delete("missing"),
+        ):
+            with pytest.raises(StorageError, match="no such file"):
+                operation()
+
+    def test_negative_page_offset_rejected(self, fs):
+        fs.create("f")
+        fs.append("f", b"data")
+        with pytest.raises(StorageError, match="out of range"):
+            fs.read("f", -1)
+        with pytest.raises(StorageError, match="out of range"):
+            fs.write("f", -1, b"x")
+
+    def test_read_past_end_of_file(self, fs):
+        fs.create("f")
+        fs.append("f", b"data")
+        with pytest.raises(StorageError, match="out of range"):
+            fs.read("f", 1)
+        with pytest.raises(StorageError, match="out of range"):
+            fs.read("f", 10_000)
+
+    def test_short_page_surfaces_as_storage_error(self, fs, tmp_path):
+        """A truncated OS file must raise, not silently return short bytes."""
+        import os
+
+        fs.create("f")
+        fs.append("f", b"page-0")
+        fs.append("f", b"page-1")
+        os.truncate(tmp_path / "f.pages", 128 + 40)  # page 1 now partial
+        assert fs.read("f", 0).startswith(b"page-0")  # intact page unaffected
+        with pytest.raises(StorageError, match="short page"):
+            fs.read("f", 1)
+
+    def test_partial_trailing_page_not_counted(self, fs, tmp_path):
+        """num_pages only counts complete pages of a foreign/truncated file."""
+        import os
+
+        fs.create("f")
+        fs.append("f", b"page-0")
+        os.truncate(tmp_path / "f.pages", 128 + 13)
+        assert fs.num_pages("f") == 1
+
+    def test_create_collides_with_sanitised_sibling(self, fs):
+        """Two names sanitising to the same OS file cannot coexist."""
+        fs.create("a/b")
+        with pytest.raises(StorageError, match="already exists"):
+            fs.create("a:b")

@@ -1,10 +1,10 @@
-"""Unit tests for the LRU buffer pool."""
+"""Unit tests for the LRU buffer pool, its decoded-array layer and sharding."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.storage.buffer import BufferPool
+from repro.storage.buffer import BufferCounters, BufferPool, ShardedBufferPool
 
 
 class TestBasicOperations:
@@ -80,3 +80,144 @@ class TestInvalidation:
         pool.invalidate_file("f")
         assert pool.get("f", 0) is None
         assert pool.get("g", 0) == b"b"
+
+
+class TestDecodedLayer:
+    def test_decoded_entry_requires_resident_byte_page(self):
+        pool = BufferPool(4)
+        pool.put_decoded("f", 0, [1, 2, 3])  # no byte page: silently ignored
+        assert pool.get_decoded("f", 0) is None
+        assert pool.decoded_misses == 1
+        pool.put("f", 0, b"bytes")
+        pool.put_decoded("f", 0, [1, 2, 3])
+        assert pool.get_decoded("f", 0) == [1, 2, 3]
+        assert pool.decoded_hits == 1
+
+    def test_eviction_drops_decoded_array_with_its_byte_page(self):
+        pool = BufferPool(2)
+        pool.put("f", 0, b"a")
+        pool.put_decoded("f", 0, "decoded-0")
+        pool.put("f", 1, b"b")
+        pool.put("f", 2, b"c")  # evicts page 0 and its decoded entry
+        assert pool.evictions == 1
+        assert pool.decoded_evictions == 1
+        assert pool.get_decoded("f", 0) is None
+
+    def test_eviction_of_undecoded_page_counts_no_decoded_eviction(self):
+        pool = BufferPool(1)
+        pool.put("f", 0, b"a")
+        pool.put("f", 1, b"b")
+        assert pool.evictions == 1
+        assert pool.decoded_evictions == 0
+
+    def test_overwrite_invalidates_stale_decoding(self):
+        pool = BufferPool(4)
+        pool.put("f", 0, b"old")
+        pool.put_decoded("f", 0, "decoded-old")
+        pool.put("f", 0, b"new")  # refresh: the old decoding is stale
+        assert pool.get_decoded("f", 0) is None
+
+    def test_invalidate_file_and_clear_drop_decoded_entries(self):
+        pool = BufferPool(4)
+        for name in ("f", "g"):
+            pool.put(name, 0, b"a")
+            pool.put_decoded(name, 0, name)
+        pool.invalidate_file("f")
+        assert pool.get_decoded("f", 0) is None
+        assert pool.get_decoded("g", 0) == "g"
+        pool.clear()
+        assert pool.get_decoded("g", 0) is None
+
+    def test_counter_accounting_snapshot_and_delta(self):
+        pool = BufferPool(2)
+        pool.put("f", 0, b"a")
+        pool.put_decoded("f", 0, "d0")
+        pool.get("f", 0)
+        pool.get("f", 1)  # miss
+        pool.get_decoded("f", 0)
+        pool.get_decoded("f", 1)  # miss
+        pool.put("f", 1, b"b")
+        pool.put("f", 2, b"c")  # evicts page 0 (+ decoded entry)
+        snapshot = pool.counters()
+        assert snapshot == BufferCounters(
+            hits=1,
+            misses=1,
+            evictions=1,
+            decoded_hits=1,
+            decoded_misses=1,
+            decoded_evictions=1,
+        )
+        pool.get("f", 2)
+        delta = pool.counters().delta_since(snapshot)
+        assert delta == BufferCounters(hits=1)
+
+
+class TestShardedBufferPool:
+    def test_routing_is_deterministic_and_spreads(self):
+        pool = ShardedBufferPool(64, n_shards=4)
+        assert all(
+            pool.shard_of("f", page) == pool.shard_of("f", page) for page in range(50)
+        )
+        used = {pool.shard_of("f", page) for page in range(50)}
+        assert len(used) > 1, "pages should spread over shards"
+
+    def test_capacity_split_sums_to_total(self):
+        pool = ShardedBufferPool(10, n_shards=4)
+        assert pool.capacity_pages == 10
+        assert pool.n_shards == 4
+        for page in range(40):
+            pool.put("f", page, bytes([page]))
+        assert len(pool) <= 10
+
+    def test_put_get_contains_roundtrip(self):
+        pool = ShardedBufferPool(16, n_shards=4)
+        pool.put("f", 3, b"payload")
+        assert ("f", 3) in pool
+        assert pool.get("f", 3) == b"payload"
+        assert pool.hits == 1
+        assert pool.get("g", 3) is None
+        assert pool.misses == 1
+
+    def test_decoded_layer_per_shard(self):
+        pool = ShardedBufferPool(16, n_shards=4)
+        pool.put("f", 5, b"bytes")
+        pool.put_decoded("f", 5, "decoded")
+        assert pool.get_decoded("f", 5) == "decoded"
+        assert pool.get_decoded("f", 6) is None
+        assert pool.decoded_hits == 1 and pool.decoded_misses == 1
+
+    def test_invalidate_file_covers_all_shards(self):
+        pool = ShardedBufferPool(64, n_shards=4)
+        for page in range(20):
+            pool.put("f", page, b"x")
+            pool.put("g", page, b"y")
+        pool.invalidate_file("f")
+        assert all(pool.get("f", page) is None for page in range(20))
+        assert all(pool.get("g", page) == b"y" for page in range(20))
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_aggregated_counters_sum_over_shards(self):
+        pool = ShardedBufferPool(8, n_shards=3)
+        for page in range(30):
+            pool.put("f", page, bytes([page]))
+            pool.get("f", page)
+        per_shard = pool.shard_counters()
+        total = BufferCounters()
+        for snapshot in per_shard:
+            total = total + snapshot
+        assert total == pool.counters()
+        assert pool.counters().hits == pool.hits
+        assert pool.counters().evictions == pool.evictions > 0
+
+    def test_zero_capacity_disables_caching(self):
+        pool = ShardedBufferPool(0, n_shards=4)
+        pool.put("f", 0, b"x")
+        assert pool.get("f", 0) is None
+        assert len(pool) == 0
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedBufferPool(8, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedBufferPool(-1, n_shards=2)
