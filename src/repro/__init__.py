@@ -31,6 +31,7 @@ from repro.data import (
     build_benchmark_suite,
 )
 from repro.geometry import Box
+from repro.serve import QueryService, ServiceClosed, ServiceStats
 from repro.storage import Disk, DiskModel
 from repro.workload import (
     ClusteredRangeGenerator,
@@ -63,8 +64,11 @@ __all__ = [
     "OdysseyConfig",
     "OneForEach",
     "QueryBatch",
+    "QueryService",
     "RangeQuery",
     "STRRTree",
+    "ServiceClosed",
+    "ServiceStats",
     "SpaceOdyssey",
     "SpatialObject",
     "UniformRangeGenerator",

@@ -20,6 +20,14 @@ One snapshot covers, per phase:
   through ``query_batch(..., workers=K)`` over a sharded buffer pool, one
   entry per requested ``K`` (``workers=1`` is the serial-batch baseline
   the parallel speedup is computed against);
+* **steady_serve** — the serving phase: the workload is offered to a
+  :class:`~repro.serve.QueryService` (dynamic batching with size and
+  deadline triggers) under an **open-loop arrival process** from several
+  client threads, reporting sustained QPS, p50/p99 latency and the
+  batcher's flush behaviour — the metric a multi-tenant serving story is
+  judged on.  The offered rate defaults to a fixed utilization of the
+  measured batch-mode capacity so the phase records latency under load
+  rather than at saturation;
 
 plus the derived speedups (columnar vs scalar, batch vs scalar, best
 parallel worker count vs ``workers=1``) and page counts of every on-disk
@@ -42,6 +50,7 @@ from repro.bench.scales import ExperimentScale, get_scale
 from repro.core.config import OdysseyConfig
 from repro.core.odyssey import SpaceOdyssey
 from repro.data.suite import BenchmarkSuite, build_benchmark_suite
+from repro.serve import run_open_loop
 
 
 def default_snapshot_path(scale: str | ExperimentScale) -> Path:
@@ -72,6 +81,52 @@ def sequential_pass(odyssey: SpaceOdyssey, workload) -> None:
         odyssey.query(query.box, query.dataset_ids)
 
 
+def measure_serving(
+    odyssey: SpaceOdyssey,
+    workload,
+    *,
+    rate_qps: float,
+    n_clients: int = 4,
+    max_batch: int = 32,
+    max_delay_ms: float = 5.0,
+    workers: int | None = None,
+) -> dict[str, Any]:
+    """One open-loop serving measurement, returned as a JSON-ready phase.
+
+    Starts a :class:`~repro.serve.QueryService` over the (already
+    converged) engine, offers the workload at ``rate_qps`` from
+    ``n_clients`` submitter threads, and merges the open-loop report
+    (sustained QPS, p50/p99 latency) with the service's batching stats
+    (flush-trigger breakdown, mean/max batch size).
+    """
+    service = odyssey.serve(
+        max_batch=max_batch, max_delay_ms=max_delay_ms, workers=workers
+    )
+    try:
+        report = run_open_loop(
+            service, workload, rate_qps=rate_qps, n_clients=n_clients
+        )
+    finally:
+        service.close()
+    stats = service.stats
+    phase = report.to_json()
+    phase.update(
+        {
+            "max_batch": max_batch,
+            "max_delay_ms": max_delay_ms,
+            "workers": workers or 1,
+            "batches": stats.batches,
+            "mean_batch_size": stats.mean_batch_size,
+            "max_batch_size": stats.max_batch_size,
+            "size_flushes": stats.size_flushes,
+            "deadline_flushes": stats.deadline_flushes,
+            "drain_flushes": stats.drain_flushes,
+            "fallbacks": stats.fallbacks,
+        }
+    )
+    return phase
+
+
 def run_perf_snapshot(
     scale: str | ExperimentScale = "small",
     *,
@@ -82,6 +137,14 @@ def run_perf_snapshot(
     config: OdysseyConfig | None = None,
     workers: tuple[int, ...] = (1, 2, 4),
     buffer_shards: int = 8,
+    serve: bool = True,
+    serve_repeats: int = 4,
+    serve_rate_qps: float | None = None,
+    serve_utilization: float = 0.7,
+    serve_clients: int = 4,
+    serve_max_batch: int | None = None,
+    serve_max_delay_ms: float = 5.0,
+    serve_workers: int | None = None,
 ) -> dict[str, Any]:
     """Measure one perf snapshot and return it as a JSON-ready dict.
 
@@ -95,6 +158,14 @@ def run_perf_snapshot(
     ``query_batch(..., workers=K)`` on its own converged engine whose
     disk uses ``buffer_shards`` lock-striped buffer-pool shards.  Pass an
     empty tuple to skip the sweep.
+
+    ``serve=True`` adds the open-loop serving phase: the workload,
+    repeated ``serve_repeats`` times for stable percentiles, is offered
+    to a dynamic-batching :class:`~repro.serve.QueryService` from
+    ``serve_clients`` threads.  The offered rate is ``serve_rate_qps``
+    when given, otherwise ``serve_utilization`` times the capacity the
+    batch phase just measured — latency under load, not at saturation.
+    ``serve_max_batch`` defaults to ``batch_size``.
     """
     scale = get_scale(scale)
     config = config or OdysseyConfig()
@@ -203,6 +274,28 @@ def run_perf_snapshot(
             "sweep": sweep,
         }
 
+    if serve:
+        serve_engine = SpaceOdyssey(suite.fork(buffer_shards=buffer_shards).catalog, config)
+        sequential_pass(serve_engine, workload)  # converge off the clock
+        capacity_qps = len(workload) / batch_seconds if batch_seconds > 0 else None
+        rate = serve_rate_qps or (
+            serve_utilization * capacity_qps if capacity_qps else 100.0
+        )
+        serve_workload = [query for _ in range(max(1, serve_repeats)) for query in workload]
+        phases["steady_serve"] = measure_serving(
+            serve_engine,
+            serve_workload,
+            rate_qps=rate,
+            n_clients=serve_clients,
+            max_batch=serve_max_batch or batch_size,
+            max_delay_ms=serve_max_delay_ms,
+            workers=serve_workers,
+        )
+        phases["steady_serve"]["capacity_qps"] = capacity_qps
+        phases["steady_serve"]["utilization_target"] = (
+            serve_utilization if serve_rate_qps is None else None
+        )
+
     summary = columnar_engine.summary()
     disk = columnar_engine.disk
     pages = {
@@ -261,6 +354,118 @@ def run_perf_snapshot(
     }
 
 
+def format_serve_phase(phase: dict[str, Any]) -> str:
+    """A human-readable digest of one serving phase / serve snapshot."""
+    latency = phase.get("latency_ms")
+    mean_batch = phase.get("mean_batch_size")
+    if latency is not None:
+        latency_line = (
+            f"latency: p50 {latency['p50_ms']:.2f} ms, "
+            f"p99 {latency['p99_ms']:.2f} ms, max {latency['max_ms']:.2f} ms"
+        )
+    else:
+        latency_line = "latency: n/a"
+    batching_line = (
+        f"batching: max_batch {phase['max_batch']}, "
+        f"max_delay {phase['max_delay_ms']:.1f} ms — {phase['batches']} batches"
+        + (f", mean size {mean_batch:.1f}" if mean_batch is not None else "")
+        + f", flushes: {phase['size_flushes']} size / "
+        f"{phase['deadline_flushes']} deadline / {phase['drain_flushes']} drain"
+    )
+    return "\n".join(
+        [
+            "serving (open loop): "
+            f"offered {phase['offered_qps']:.1f} q/s, "
+            f"sustained {phase['sustained_qps']:.1f} q/s, "
+            f"{phase['completed']}/{phase['queries']} completed "
+            f"over {phase['n_clients']} clients",
+            latency_line,
+            batching_line,
+        ]
+    )
+
+
+def run_serve_snapshot(
+    scale: str | ExperimentScale = "small",
+    *,
+    n_queries: int = 64,
+    serve_repeats: int = 4,
+    rate_qps: float | None = None,
+    utilization: float = 0.7,
+    n_clients: int = 4,
+    max_batch: int = 32,
+    max_delay_ms: float = 5.0,
+    workers: int | None = None,
+    seed: int = 23,
+    config: OdysseyConfig | None = None,
+    buffer_shards: int = 8,
+) -> dict[str, Any]:
+    """A standalone serving benchmark (the ``serve-bench`` CLI command).
+
+    Builds the scale's suite, converges one engine with a sequential
+    pass, estimates batch-mode capacity with one batched pass, then
+    offers the workload (repeated ``serve_repeats`` times) through the
+    dynamic batcher at ``rate_qps`` — or at ``utilization`` times the
+    measured capacity when no explicit rate is given.
+    """
+    scale = get_scale(scale)
+    config = config or OdysseyConfig()
+    suite = build_benchmark_suite(
+        n_datasets=scale.n_datasets,
+        objects_per_dataset=scale.objects_per_dataset,
+        seed=scale.seed,
+        buffer_pages=0,
+        model=scale.disk_model(),
+        buffer_shards=buffer_shards,
+    )
+    workload = list(
+        generate_workload(
+            suite.universe,
+            suite.catalog.dataset_ids(),
+            n_queries,
+            seed=seed,
+            datasets_per_query=min(2, scale.n_datasets),
+            volume_fraction=5e-3,
+            ranges="uniform",
+            ids_distribution="uniform",
+        )
+    )
+    engine = SpaceOdyssey(suite.catalog, config)
+    sequential_pass(engine, workload)  # converge (in-situ first touch)
+    batch_seconds = timed(
+        lambda: engine.query_batch(workload, workers=workers)
+    )
+    capacity_qps = len(workload) / batch_seconds if batch_seconds > 0 else None
+    rate = rate_qps or (utilization * capacity_qps if capacity_qps else 100.0)
+    serve_workload = [query for _ in range(max(1, serve_repeats)) for query in workload]
+    phase = measure_serving(
+        engine,
+        serve_workload,
+        rate_qps=rate,
+        n_clients=n_clients,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        workers=workers,
+    )
+    phase["capacity_qps"] = capacity_qps
+    phase["utilization_target"] = utilization if rate_qps is None else None
+    return {
+        "kind": "repro-serve-snapshot",
+        "version": 1,
+        "scale": scale.name,
+        "seed": seed,
+        "n_queries": n_queries,
+        "serve_repeats": serve_repeats,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "serve": phase,
+    }
+
+
 def save_snapshot(snapshot: dict[str, Any], path: str | Path) -> Path:
     """Write a snapshot to ``path`` as indented JSON and return the path."""
     path = Path(path)
@@ -283,16 +488,18 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
     for name in ("build", "first_touch", "steady_scalar", "steady_columnar", "steady_batch"):
         phase = phases[name]
         qps = phase.get("queries_per_second")
+        # ``is not None``, not truthiness: a legitimate 0.0 q/s (degenerate
+        # timing) must print as 0.0, not as a missing value.
         lines.append(
             f"{name:<18}{phase['wall_seconds']:>14.3f}"
-            + (f"{qps:>12.1f}" if qps else f"{'-':>12}")
+            + (f"{qps:>12.1f}" if qps is not None else f"{'-':>12}")
         )
     for entry in phases.get("steady_parallel", {}).get("sweep", []):
         name = f"parallel w={entry['workers']}"
         qps = entry.get("queries_per_second")
         lines.append(
             f"{name:<18}{entry['wall_seconds']:>14.3f}"
-            + (f"{qps:>12.1f}" if qps else f"{'-':>12}")
+            + (f"{qps:>12.1f}" if qps is not None else f"{'-':>12}")
         )
     def _ratio(value: float | None) -> str:
         return f"{value:.2f}x" if value is not None else "n/a"
@@ -308,6 +515,10 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
             "parallel batch: best worker count is "
             f"{_ratio(speedups['parallel_best_vs_workers1'])} vs workers=1"
         )
+    serve_phase = phases.get("steady_serve")
+    if serve_phase is not None:
+        lines.append("")
+        lines.append(format_serve_phase(serve_phase))
     lines.append(
         f"pages: raw {snapshot['pages']['raw']}, "
         f"partitions {snapshot['pages']['partitions']}, "

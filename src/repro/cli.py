@@ -24,9 +24,14 @@ Same, with each batch fanned across four worker threads::
     python -m repro.cli fig5b --scale small --batch-size 32 --workers 4
 
 Record a machine-readable wall-clock performance snapshot (including a
-parallel-batch worker sweep)::
+parallel-batch worker sweep and the open-loop serving phase)::
 
     python -m repro.cli bench --scale small --json BENCH_small.json --workers 1,2,4
+
+Benchmark the multi-tenant serving frontend alone — open-loop arrivals
+through the dynamic batcher, reporting sustained QPS and p50/p99 latency::
+
+    python -m repro.cli serve-bench --scale small --rate 500 --clients 8
 """
 
 from __future__ import annotations
@@ -171,6 +176,100 @@ def _build_parser() -> argparse.ArgumentParser:
             "recorded in the snapshot (default: 1,2,4)"
         ),
     )
+    bench.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the open-loop serving phase of the snapshot",
+    )
+    bench.add_argument(
+        "--serve-rate",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help=(
+            "offered rate of the serving phase (default: 70%% of the "
+            "measured batch-mode capacity)"
+        ),
+    )
+    bench.add_argument(
+        "--serve-clients",
+        type=_positive_int,
+        default=4,
+        help="concurrent client threads of the serving phase (default: 4)",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help=(
+            "open-loop benchmark of the multi-tenant serving frontend "
+            "(dynamic batching; reports sustained QPS and p50/p99 latency)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="experiment scale preset (default: small)",
+    )
+    serve_bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="optional output path of the JSON serve snapshot",
+    )
+    serve_bench.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=64,
+        help="distinct workload queries (default: 64)",
+    )
+    serve_bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=4,
+        help="times the workload is repeated through the service (default: 4)",
+    )
+    serve_bench.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help=(
+            "offered arrival rate; default derives from measured batch "
+            "capacity at --utilization"
+        ),
+    )
+    serve_bench.add_argument(
+        "--utilization",
+        type=float,
+        default=0.7,
+        help="fraction of measured capacity to offer when --rate is absent "
+        "(default: 0.7)",
+    )
+    serve_bench.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=4,
+        help="concurrent client threads (default: 4)",
+    )
+    serve_bench.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=32,
+        help="size trigger of the dynamic batcher (default: 32)",
+    )
+    serve_bench.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=5.0,
+        help="deadline trigger of the dynamic batcher in ms (default: 5)",
+    )
+    serve_bench.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker threads per drained batch (default: 1)",
+    )
 
     everything = sub.add_parser("all", help="run every figure and write JSON results")
     everything.add_argument("--scale", default="small", choices=sorted(SCALES))
@@ -201,7 +300,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     if (
-        args.command != "bench"
+        args.command not in ("bench", "serve-bench")
         and getattr(args, "workers", 1) > 1
         and args.batch_size == 1
     ):
@@ -244,12 +343,32 @@ def main(argv: list[str] | None = None) -> int:
             batch_size=args.batch_size,
             repeats=args.repeats,
             workers=args.workers,
+            serve=not args.no_serve,
+            serve_rate_qps=args.serve_rate,
+            serve_clients=args.serve_clients,
         )
         print(perf.format_snapshot_summary(snapshot))
         path = perf.save_snapshot(
             snapshot, args.json or perf.default_snapshot_path(args.scale)
         )
         print(f"\nperf snapshot written to {path}")
+    elif args.command == "serve-bench":
+        snapshot = perf.run_serve_snapshot(
+            args.scale,
+            n_queries=args.queries,
+            serve_repeats=args.repeats,
+            rate_qps=args.rate,
+            utilization=args.utilization,
+            n_clients=args.clients,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            workers=args.workers if args.workers > 1 else None,
+        )
+        print(f"serve snapshot — scale: {snapshot['scale']}\n")
+        print(perf.format_serve_phase(snapshot["serve"]))
+        if args.json:
+            path = perf.save_snapshot(snapshot, args.json)
+            print(f"\nserve snapshot written to {path}")
     elif args.command == "all":
         output_dir = Path(args.output_dir)
         batch = args.batch_size

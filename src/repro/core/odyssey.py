@@ -55,6 +55,7 @@ from repro.storage.disk import Disk
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from repro.core.batch import BatchResult
+    from repro.serve.service import QueryService
 
 
 @dataclass(frozen=True, slots=True)
@@ -156,6 +157,39 @@ class SpaceOdyssey(MultiDatasetIndex):
         pool (``Disk(buffer_shards=...)``) on multi-core hosts.
         """
         return self._processor.execute_batch(queries, workers=workers)
+
+    def serve(
+        self,
+        *,
+        max_batch: int = 32,
+        max_delay_ms: float = 5.0,
+        workers: int | None = None,
+        max_pending: int | None = None,
+    ) -> "QueryService":
+        """Start a multi-tenant serving frontend over this engine.
+
+        Returns a running :class:`~repro.serve.QueryService`: many client
+        threads call ``submit(box, dataset_ids)`` concurrently, a
+        dedicated dispatcher coalesces submissions into batches (flushing
+        at ``max_batch`` queries or after ``max_delay_ms``, whichever
+        fires first), drains each batch through :meth:`query_batch`
+        (``workers=K`` selects the thread-parallel executor), and resolves
+        each submission's future with its hits or exception.  Per-client
+        results are identical to issuing the same queries sequentially in
+        arrival order.  Close the service (or use it as a context
+        manager) to drain and release it; the engine stays fully usable
+        afterwards, and direct ``query``/``query_batch`` calls made while
+        the service runs simply interleave through the gate lock.
+        """
+        from repro.serve.service import QueryService
+
+        return QueryService(
+            self,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            workers=workers,
+            max_pending=max_pending,
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -1,0 +1,33 @@
+"""Multi-tenant serving frontend for the Space Odyssey engine.
+
+``serve`` turns the four-mode engine into a servable system: many
+concurrent clients submit range queries to one :class:`QueryService`,
+a dedicated dispatcher coalesces them with size and deadline triggers
+(the way inference servers batch requests), drains each batch through
+:meth:`~repro.core.odyssey.SpaceOdyssey.query_batch`, and routes results
+or exceptions back through per-request futures — with per-client results
+guaranteed identical to issuing the same queries sequentially in arrival
+order (see :mod:`repro.serve.service` for the contract).
+
+:mod:`repro.serve.loadgen` measures the service the way serving systems
+are judged: sustained QPS and p50/p99 latency under an open-loop arrival
+process.
+"""
+
+from repro.serve.loadgen import LatencySummary, OpenLoopReport, run_open_loop
+from repro.serve.service import (
+    QueryService,
+    ServiceClosed,
+    ServiceStats,
+    Submission,
+)
+
+__all__ = [
+    "LatencySummary",
+    "OpenLoopReport",
+    "QueryService",
+    "ServiceClosed",
+    "ServiceStats",
+    "Submission",
+    "run_open_loop",
+]

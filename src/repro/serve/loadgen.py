@@ -1,0 +1,211 @@
+"""Open-loop load generation against a :class:`~repro.serve.QueryService`.
+
+The serving layer is measured the way inference servers are: an
+**open-loop** arrival process.  Query arrivals are scheduled on the wall
+clock at a fixed offered rate *regardless of completions* — clients never
+wait for an answer before sending the next query — so queueing delay
+shows up in the latency distribution instead of silently throttling the
+offered load (the "coordinated omission" failure mode of closed loops).
+
+Each request's latency is measured from its **scheduled arrival time** to
+future completion: if the submitting client fell behind schedule or the
+query sat in the batcher's queue, that wait is part of the number, which
+is what a tail-latency percentile is supposed to capture.
+
+The arrival schedule is deterministic (arrival ``k`` at ``k /
+rate_qps`` seconds, interleaved round-robin over ``n_clients`` submitter
+threads), so two runs at the same rate offer the same load pattern.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import wait
+from dataclasses import asdict, dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.serve.service import QueryService, Submission
+from repro.workload.query import RangeQuery
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """Latency percentiles of one open-loop run, in milliseconds."""
+
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_samples(cls, samples_ms: Sequence[float]) -> "LatencySummary":
+        array = np.asarray(samples_ms, dtype=np.float64)
+        return cls(
+            p50_ms=float(np.percentile(array, 50)),
+            p90_ms=float(np.percentile(array, 90)),
+            p99_ms=float(np.percentile(array, 99)),
+            mean_ms=float(array.mean()),
+            max_ms=float(array.max()),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OpenLoopReport:
+    """Everything one open-loop run measured."""
+
+    queries: int
+    completed: int
+    failed: int
+    offered_qps: float
+    sustained_qps: float
+    wall_seconds: float
+    n_clients: int
+    latency: LatencySummary | None
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict (latency flattened under ``latency_ms``)."""
+        payload: dict[str, Any] = {
+            "queries": self.queries,
+            "completed": self.completed,
+            "failed": self.failed,
+            "offered_qps": self.offered_qps,
+            "sustained_qps": self.sustained_qps,
+            "wall_seconds": self.wall_seconds,
+            "n_clients": self.n_clients,
+        }
+        payload["latency_ms"] = (
+            asdict(self.latency) if self.latency is not None else None
+        )
+        return payload
+
+
+def _normalize(queries) -> list[tuple]:
+    normalized = []
+    for query in queries:
+        if isinstance(query, RangeQuery):
+            normalized.append((query.box, query.dataset_ids))
+        else:
+            box, dataset_ids = query
+            normalized.append((box, tuple(dataset_ids)))
+    return normalized
+
+
+def run_open_loop(
+    service: QueryService,
+    queries,
+    *,
+    rate_qps: float,
+    n_clients: int = 4,
+    timeout_s: float = 300.0,
+) -> OpenLoopReport:
+    """Offer ``queries`` to a service at ``rate_qps`` and measure latency.
+
+    ``queries`` is a sequence of :class:`~repro.workload.query.RangeQuery`
+    or ``(box, dataset_ids)`` pairs; arrival ``k`` is scheduled at ``k /
+    rate_qps`` seconds after the common start, round-robined over
+    ``n_clients`` submitter threads.  Returns sustained QPS (completions
+    over the span from start to last completion) and the latency
+    distribution from scheduled arrival to completion.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    plan = _normalize(queries)
+    if not plan:
+        raise ValueError("an open-loop run needs at least one query")
+    n = len(plan)
+    done_at: list[float | None] = [None] * n
+    scheduled_at: list[float] = [k / rate_qps for k in range(n)]
+    submissions: list[Submission | None] = [None] * n
+    errors: list[BaseException] = []
+    start_gate = threading.Barrier(n_clients + 1)
+    t0_holder: list[float] = []
+
+    def client(client_index: int) -> None:
+        try:
+            start_gate.wait(timeout=30)
+            t0 = t0_holder[0]
+            for k in range(client_index, n, n_clients):
+                target = t0 + scheduled_at[k]
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                submission = service.submit(*plan[k])
+                submissions[k] = submission
+
+                def completion(_future, index: int = k) -> None:
+                    done_at[index] = time.perf_counter()
+
+                submission.future.add_done_callback(completion)
+        except BaseException as exc:  # pragma: no cover - harness failure
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(index,), name=f"loadgen-{index}")
+        for index in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    t0_holder.append(time.perf_counter())
+    start_gate.wait(timeout=30)
+    for thread in threads:
+        thread.join(timeout=timeout_s)
+    if errors:
+        raise errors[0]
+
+    futures = [s.future for s in submissions if s is not None]
+    pending = wait(futures, timeout=timeout_s)
+    if pending.not_done:  # pragma: no cover - saturation guard
+        raise TimeoutError(
+            f"{len(pending.not_done)} of {n} served queries did not complete "
+            f"within {timeout_s}s"
+        )
+    # `wait` observes resolution before the done-callbacks run (they fire
+    # just after the future's waiters are woken), so give the last
+    # timestamps a moment to land.
+    grace = time.perf_counter() + 5.0
+    while (
+        any(
+            done_at[k] is None
+            for k, submission in enumerate(submissions)
+            if submission is not None
+        )
+        and time.perf_counter() < grace
+    ):
+        time.sleep(0.001)
+
+    t0 = t0_holder[0]
+    completed = 0
+    failed = 0
+    latencies_ms: list[float] = []
+    last_done = t0
+    for k, submission in enumerate(submissions):
+        if submission is None:  # pragma: no cover - harness failure
+            failed += 1
+            continue
+        finished = done_at[k]
+        if finished is None:  # pragma: no cover - callback never landed
+            failed += 1
+            continue
+        last_done = max(last_done, finished)
+        if submission.future.exception() is None:
+            completed += 1
+            latencies_ms.append((finished - (t0 + scheduled_at[k])) * 1000.0)
+        else:
+            failed += 1
+    wall = max(last_done - t0, 1e-9)
+    return OpenLoopReport(
+        queries=n,
+        completed=completed,
+        failed=failed,
+        offered_qps=rate_qps,
+        sustained_qps=completed / wall,
+        wall_seconds=wall,
+        n_clients=min(n_clients, n),
+        latency=LatencySummary.from_samples(latencies_ms) if latencies_ms else None,
+    )

@@ -1,0 +1,394 @@
+"""The multi-tenant query service: dynamic batching over one engine.
+
+Many concurrent clients submit range queries to a :class:`QueryService`;
+a dedicated dispatcher thread coalesces them into batches — flushing on
+whichever of two triggers fires first, a **size** trigger (``max_batch``
+queued queries) or a **deadline** trigger (the oldest queued query has
+waited ``max_delay_ms``) — and drains each batch through
+:meth:`~repro.core.odyssey.SpaceOdyssey.query_batch`, optionally with the
+thread-parallel executor (``workers=K``).  Every submission gets its own
+:class:`~concurrent.futures.Future`, so results *and* exceptions route
+back to the client that submitted them.
+
+Determinism contract
+--------------------
+Submissions are assigned a global **arrival sequence number** and queued
+in that order (both under one submission lock), the dispatcher forms
+batches from consecutive queued entries, and batched execution is
+sequential-equivalent by the engine's own guarantee (see
+:mod:`repro.core.batch`).  The service therefore executes exactly the
+serial schedule "all accepted queries, in arrival order" — every client's
+results are identical to issuing the same queries sequentially in arrival
+order on a private engine, and the served engine's post-run adaptive
+state equals that sequential run's.  ``tests/test_serve_differential.py``
+enforces this with the same packed-bytes/adaptive-state/on-disk oracle as
+the batch differential suite.
+
+Failure isolation
+-----------------
+A batch whose execution raises (e.g. one query requests an unknown
+dataset id — the batch executor validates ids before doing any work)
+falls back to executing its queries one by one through
+:meth:`~repro.core.odyssey.SpaceOdyssey.query`: only the offending
+queries' futures receive the exception, every other query in the batch
+still completes with its exact answer, and the arrival-order schedule is
+preserved.
+
+Shutdown semantics
+------------------
+``close(drain=True)`` (also the context-manager exit) stops accepting
+submissions, lets the dispatcher execute everything already queued (a
+final *drain* flush), and joins it — the engine's gate lock is released
+and the engine stays fully usable afterwards.  ``close(drain=False)``
+additionally fails still-queued submissions with :class:`ServiceClosed`
+instead of executing them; the batch in flight (if any) always completes,
+because a top-level ``query_batch`` call cannot be interrupted mid-write.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, fields
+from queue import Empty, Queue
+from typing import Iterable
+
+from repro.core.odyssey import SpaceOdyssey
+from repro.data.spatial_object import SpatialObject
+from repro.geometry.box import Box
+
+
+class ServiceClosed(RuntimeError):
+    """Submitting to a closed service, or a pending query dropped by abort."""
+
+
+#: Queue sentinel that tells the dispatcher to exit after the current drain.
+_SHUTDOWN = object()
+
+#: Flush-trigger labels, in ServiceStats order.
+FLUSH_SIZE = "size"
+FLUSH_DEADLINE = "deadline"
+FLUSH_DRAIN = "drain"
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStats:
+    """A point-in-time snapshot of one service's serving counters.
+
+    ``submitted == completed + failed + cancelled + pending`` at any
+    quiescent point (after :meth:`QueryService.close` the pending term is
+    zero).  ``size_flushes + deadline_flushes + drain_flushes ==
+    batches``.  ``fallbacks`` counts batches that raised and were replayed
+    query-by-query for failure isolation.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    queries_batched: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    drain_flushes: int = 0
+    fallbacks: int = 0
+    max_batch_size: int = 0
+
+    @property
+    def mean_batch_size(self) -> float | None:
+        """Average dispatched batch size, or ``None`` before any dispatch."""
+        if self.batches == 0:
+            return None
+        return self.queries_batched / self.batches
+
+
+class Submission:
+    """One accepted query: its arrival order, window, and result future.
+
+    ``seq`` is the global arrival sequence number — the position this
+    query holds in the serial schedule the service is guaranteed to be
+    equivalent to.  ``future`` is a plain
+    :class:`concurrent.futures.Future` resolving to the query's hit list.
+    """
+
+    __slots__ = ("seq", "box", "dataset_ids", "future", "submitted_at")
+
+    def __init__(
+        self, seq: int, box: Box, dataset_ids: tuple[int, ...], submitted_at: float
+    ) -> None:
+        self.seq = seq
+        self.box = box
+        self.dataset_ids = dataset_ids
+        self.future: Future[list[SpatialObject]] = Future()
+        self.submitted_at = submitted_at
+
+    def result(self, timeout: float | None = None) -> list[SpatialObject]:
+        """Block until the query completes and return its hits."""
+        return self.future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until the query completes and return its exception, if any."""
+        return self.future.exception(timeout)
+
+    def done(self) -> bool:
+        """Whether the query has completed (successfully or not)."""
+        return self.future.done()
+
+
+class QueryService:
+    """Serve a continuous stream of range queries from many clients.
+
+    Parameters
+    ----------
+    odyssey:
+        The engine to serve.  The service's dispatcher is one more client
+        of the engine's gate lock; other threads may keep calling
+        ``query``/``query_batch`` directly and simply interleave.
+    max_batch:
+        Size trigger: flush as soon as this many queries are queued.
+    max_delay_ms:
+        Deadline trigger: flush when the oldest queued query has waited
+        this long, even if the batch is not full.  ``0`` disables
+        coalescing delay entirely (every flush is whatever is already
+        queued the moment the dispatcher looks).
+    workers:
+        Worker threads per drained batch, passed through to
+        ``query_batch(..., workers=K)``; ``None`` or ``1`` uses the serial
+        batch engine.
+    max_pending:
+        Optional backpressure bound: with a value, :meth:`submit` blocks
+        once this many queries are queued undispatched (the queue is
+        bounded).  ``None`` (default) never blocks.
+    """
+
+    def __init__(
+        self,
+        odyssey: SpaceOdyssey,
+        *,
+        max_batch: int = 32,
+        max_delay_ms: float = 5.0,
+        workers: int | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
+        self._odyssey = odyssey
+        self._max_batch = max_batch
+        self._max_delay_s = max_delay_ms / 1000.0
+        self._workers = workers
+        self._queue: Queue = Queue(maxsize=max_pending or 0)
+        # One lock orders arrivals: sequence numbers and queue insertion
+        # happen atomically, so queue order IS arrival order.
+        self._submit_lock = threading.Lock()
+        self._seq = itertools.count()
+        self._closed = False
+        self._abort = False
+        self._stats_lock = threading.Lock()
+        self._stats = ServiceStats()
+        self._dispatcher = threading.Thread(
+            target=self._run, name="odyssey-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # Client surface
+    # ------------------------------------------------------------------ #
+
+    def submit(self, box: Box, dataset_ids: Iterable[int]) -> Submission:
+        """Enqueue one range query; returns immediately with its future.
+
+        Raises :class:`ServiceClosed` if the service has been closed.
+        Dataset ids are *not* validated here — an invalid query completes
+        its future with the engine's exception, exactly as the sequential
+        call would have raised it.
+        """
+        ids = tuple(dataset_ids)
+        with self._submit_lock:
+            if self._closed:
+                raise ServiceClosed("cannot submit to a closed QueryService")
+            submission = Submission(
+                seq=next(self._seq),
+                box=box,
+                dataset_ids=ids,
+                submitted_at=time.perf_counter(),
+            )
+            self._queue.put(submission)
+        with self._stats_lock:
+            self._stats = _bump(self._stats, submitted=1)
+        return submission
+
+    def query(
+        self,
+        box: Box,
+        dataset_ids: Iterable[int],
+        timeout: float | None = None,
+    ) -> list[SpatialObject]:
+        """Submit one query and block until its result is available."""
+        return self.submit(box, dataset_ids).result(timeout)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A snapshot of the serving counters."""
+        with self._stats_lock:
+            return self._stats
+
+    @property
+    def closed(self) -> bool:
+        """Whether the service has stopped accepting submissions."""
+        with self._submit_lock:
+            return self._closed
+
+    @property
+    def odyssey(self) -> SpaceOdyssey:
+        """The engine being served."""
+        return self._odyssey
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting submissions and shut the dispatcher down.
+
+        ``drain=True`` executes everything already queued before
+        returning; ``drain=False`` fails still-queued submissions with
+        :class:`ServiceClosed` (the batch currently executing always
+        finishes — the engine's gate lock is never broken mid-write).
+        Idempotent; the engine remains fully usable afterwards.
+        """
+        with self._submit_lock:
+            first_close = not self._closed
+            self._closed = True
+            if first_close:
+                if not drain:
+                    self._abort = True
+                self._queue.put(_SHUTDOWN)
+        self._dispatcher.join(timeout)
+        if self._dispatcher.is_alive():
+            raise TimeoutError("serve dispatcher did not stop within the timeout")
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher
+    # ------------------------------------------------------------------ #
+
+    def _run(self) -> None:
+        """Dispatcher loop: coalesce arrivals, drain batches, until shutdown."""
+        while True:
+            first = self._queue.get()
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
+            reason = FLUSH_SIZE  # what stopped collection if the loop runs out
+            shutting_down = False
+            deadline = time.monotonic() + self._max_delay_s
+            while len(batch) < self._max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    reason = FLUSH_DEADLINE
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except Empty:
+                    reason = FLUSH_DEADLINE
+                    break
+                if item is _SHUTDOWN:
+                    reason = FLUSH_DRAIN
+                    shutting_down = True
+                    break
+                batch.append(item)
+            self._dispatch(batch, reason)
+            if shutting_down:
+                break
+        # Post-shutdown: with drain the queue is empty by construction
+        # (the sentinel is the last thing a closing service enqueues);
+        # with abort, _dispatch already failed everything it saw, and
+        # nothing can follow the sentinel.
+
+    def _dispatch(self, batch: list[Submission], reason: str) -> None:
+        """Execute one coalesced batch and resolve its futures."""
+        fallbacks = 0
+        if self._abort:
+            error = ServiceClosed("service closed before this query was executed")
+            for submission in batch:
+                self._resolve(submission, error=error)
+        else:
+            try:
+                result = self._odyssey.query_batch(
+                    [(s.box, s.dataset_ids) for s in batch], workers=self._workers
+                )
+            except BaseException:
+                # Failure isolation: replay the batch sequentially (same
+                # arrival order) so only the offending queries fail.  The
+                # batch executor validates every dataset id before doing
+                # any work, so a validation failure left no partial state.
+                fallbacks = 1
+                for submission in batch:
+                    try:
+                        hits = self._odyssey.query(
+                            submission.box, submission.dataset_ids
+                        )
+                    except BaseException as exc:
+                        self._resolve(submission, error=exc)
+                    else:
+                        self._resolve(submission, hits=hits)
+            else:
+                for submission, hits in zip(batch, result.results):
+                    self._resolve(submission, hits=hits)
+        with self._stats_lock:
+            self._stats = _bump(
+                self._stats,
+                batches=1,
+                queries_batched=len(batch),
+                size_flushes=1 if reason == FLUSH_SIZE else 0,
+                deadline_flushes=1 if reason == FLUSH_DEADLINE else 0,
+                drain_flushes=1 if reason == FLUSH_DRAIN else 0,
+                fallbacks=fallbacks,
+            )
+            if len(batch) > self._stats.max_batch_size:
+                self._stats = _replace_max(self._stats, len(batch))
+
+    def _resolve(
+        self,
+        submission: Submission,
+        hits: list[SpatialObject] | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Route one outcome to its future (tolerating client-side cancel)."""
+        try:
+            if error is not None:
+                submission.future.set_exception(error)
+                outcome = "failed"
+            else:
+                submission.future.set_result(hits if hits is not None else [])
+                outcome = "completed"
+        except InvalidStateError:
+            # The client cancelled the future while it was queued.  The
+            # query still executed (the arrival-order schedule is never
+            # edited after the fact); only the delivery is dropped.
+            outcome = "cancelled"
+        with self._stats_lock:
+            self._stats = _bump(self._stats, **{outcome: 1})
+
+
+def _bump(stats: ServiceStats, **increments: int) -> ServiceStats:
+    """A copy of ``stats`` with the given counters incremented."""
+    values = {f.name: getattr(stats, f.name) for f in fields(stats)}
+    for name, delta in increments.items():
+        values[name] += delta
+    return ServiceStats(**values)
+
+
+def _replace_max(stats: ServiceStats, size: int) -> ServiceStats:
+    values = {f.name: getattr(stats, f.name) for f in fields(stats)}
+    values["max_batch_size"] = size
+    return ServiceStats(**values)

@@ -53,6 +53,13 @@ class BufferCounters:
     ``decoded_*`` describe the decoded-array layer; the plain fields
     describe the byte cache.  Snapshots are cumulative since pool
     construction; use :meth:`delta_since` for per-query attribution.
+
+    Decoded entries leave the cache by exactly two counted paths:
+    ``decoded_evictions`` (dropped with an LRU-evicted byte page) and
+    ``decoded_invalidations`` (dropped because their file was deleted,
+    e.g. a merge file being replaced).  :meth:`BufferPool.clear` — the
+    paper's explicit cache-dropping protocol — is deliberately uncounted
+    on both layers, exactly like byte-page drops on ``clear``.
     """
 
     hits: int = 0
@@ -61,6 +68,7 @@ class BufferCounters:
     decoded_hits: int = 0
     decoded_misses: int = 0
     decoded_evictions: int = 0
+    decoded_invalidations: int = 0
 
     def delta_since(self, earlier: "BufferCounters") -> "BufferCounters":
         """Counter increments between ``earlier`` and this snapshot."""
@@ -99,6 +107,7 @@ class BufferPool:
         self._decoded_hits = 0
         self._decoded_misses = 0
         self._decoded_evictions = 0
+        self._decoded_invalidations = 0
 
     # -- core operations -------------------------------------------------- #
 
@@ -155,11 +164,18 @@ class BufferPool:
             self._decoded[key] = value
 
     def invalidate_file(self, file_name: str) -> None:
-        """Drop every cached page belonging to one file (used on delete)."""
+        """Drop every cached page belonging to one file (used on delete).
+
+        Decoded-array entries dropped here count as
+        ``decoded_invalidations`` (the eviction path counts its drops as
+        ``decoded_evictions``), so every decoded drop outside
+        :meth:`clear` is accounted for by exactly one counter.
+        """
         stale = [key for key in self._pages if key[0] == file_name]
         for key in stale:
             del self._pages[key]
-            self._decoded.pop(key, None)
+            if self._decoded.pop(key, None) is not None:
+                self._decoded_invalidations += 1
 
     def clear(self) -> None:
         """Drop every cached page (the paper's per-query cache clearing)."""
@@ -209,6 +225,11 @@ class BufferPool:
         """Decoded arrays dropped because their byte page was evicted."""
         return self._decoded_evictions
 
+    @property
+    def decoded_invalidations(self) -> int:
+        """Decoded arrays dropped because their file was invalidated."""
+        return self._decoded_invalidations
+
     def counters(self) -> BufferCounters:
         """A snapshot of all counters (byte layer and decoded layer)."""
         return BufferCounters(
@@ -218,6 +239,7 @@ class BufferPool:
             decoded_hits=self._decoded_hits,
             decoded_misses=self._decoded_misses,
             decoded_evictions=self._decoded_evictions,
+            decoded_invalidations=self._decoded_invalidations,
         )
 
 
@@ -232,6 +254,15 @@ class ShardedBufferPool:
     :class:`BufferPool` — byte layer, decoded-array layer, aggregated
     counters — so the :class:`~repro.storage.disk.Disk` and
     :class:`~repro.storage.pagedfile.PagedFile` use either interchangeably.
+
+    The effective shard count is clamped to ``min(n_shards,
+    capacity_pages)`` (and to one shard for the capacity-zero pool):
+    splitting fewer pages than shards would leave the tail shards with
+    capacity 0, and a zero-capacity :class:`BufferPool` never caches —
+    pages routed there would silently miss forever.  Clamping guarantees
+    every shard holds at least one page, trading a little lock striping
+    for never disabling caching by accident; :attr:`n_shards` reports the
+    effective count.
     """
 
     def __init__(self, capacity_pages: int, n_shards: int = 8) -> None:
@@ -240,6 +271,7 @@ class ShardedBufferPool:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         self._capacity = capacity_pages
+        n_shards = max(1, min(n_shards, capacity_pages))
         base, extra = divmod(capacity_pages, n_shards)
         self._shards = [
             BufferPool(base + (1 if index < extra else 0)) for index in range(n_shards)
@@ -305,11 +337,19 @@ class ShardedBufferPool:
         return len(self._shards)
 
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self._shards)
+        # Like every other facade method, read shard state only under the
+        # shard's lock — an unlocked read races with concurrent mutation.
+        total = 0
+        for lock, shard in zip(self._locks, self._shards):
+            with lock:
+                total += len(shard)
+        return total
 
     def __contains__(self, key: tuple[str, int]) -> bool:
         file_name, page_no = key
-        return key in self._shards[self.shard_of(file_name, page_no)]
+        index = self.shard_of(file_name, page_no)
+        with self._locks[index]:
+            return key in self._shards[index]
 
     @property
     def hits(self) -> int:
@@ -340,6 +380,11 @@ class ShardedBufferPool:
     def decoded_evictions(self) -> int:
         """Decoded arrays dropped with their byte page, summed over shards."""
         return sum(shard.decoded_evictions for shard in self._shards)
+
+    @property
+    def decoded_invalidations(self) -> int:
+        """Decoded arrays dropped by file invalidation, summed over shards."""
+        return sum(shard.decoded_invalidations for shard in self._shards)
 
     def shard_counters(self) -> list[BufferCounters]:
         """Per-shard counter snapshots (each taken under its shard's lock)."""

@@ -160,3 +160,69 @@ class TestReporting:
         path = reporting.save_json(result, tmp_path / "out" / "result.json")
         assert path.exists()
         assert json.loads(path.read_text())["approach"] == "Grid-1fE"
+
+
+class TestPerfFormatting:
+    @staticmethod
+    def _snapshot(scalar_qps):
+        phase = lambda qps: {"wall_seconds": 0.0, "queries_per_second": qps}
+        return {
+            "scale": "tiny",
+            "n_queries": 4,
+            "batch_size": 2,
+            "phases": {
+                "build": phase(None),
+                "first_touch": phase(10.0),
+                "steady_scalar": phase(scalar_qps),
+                "steady_columnar": phase(12.0),
+                "steady_batch": phase(15.0),
+            },
+            "speedups": {
+                "sequential_columnar_vs_scalar": None,
+                "batch_vs_scalar": None,
+            },
+            "pages": {"raw": 1, "partitions": 0, "merge": 0},
+        }
+
+    def test_zero_qps_prints_as_zero_not_missing(self):
+        """Regression: truthiness treated a legitimate 0.0 q/s as absent."""
+        from repro.bench.perf import format_snapshot_summary
+
+        text = format_snapshot_summary(self._snapshot(0.0))
+        scalar_line = next(
+            line for line in text.splitlines() if line.startswith("steady_scalar")
+        )
+        assert scalar_line.rstrip().endswith("0.0")
+        assert "-" not in scalar_line
+
+    def test_missing_qps_still_prints_placeholder(self):
+        from repro.bench.perf import format_snapshot_summary
+
+        text = format_snapshot_summary(self._snapshot(None))
+        scalar_line = next(
+            line for line in text.splitlines() if line.startswith("steady_scalar")
+        )
+        assert scalar_line.rstrip().endswith("-")
+
+    def test_format_serve_phase_digest(self):
+        from repro.bench.perf import format_serve_phase
+
+        phase = {
+            "offered_qps": 100.0,
+            "sustained_qps": 99.5,
+            "completed": 200,
+            "queries": 200,
+            "n_clients": 4,
+            "latency_ms": {"p50_ms": 3.0, "p99_ms": 9.0, "max_ms": 12.0},
+            "max_batch": 16,
+            "max_delay_ms": 5.0,
+            "batches": 20,
+            "mean_batch_size": 10.0,
+            "size_flushes": 12,
+            "deadline_flushes": 7,
+            "drain_flushes": 1,
+        }
+        text = format_serve_phase(phase)
+        assert "sustained 99.5 q/s" in text
+        assert "p99 9.00 ms" in text
+        assert "12 size / 7 deadline / 1 drain" in text

@@ -146,6 +146,61 @@ class TestCLI:
             assert payload["phases"][phase]["wall_seconds"] >= 0
         assert payload["speedups"]["sequential_columnar_vs_scalar"] > 0
         assert payload["pages"]["raw"] > 0
+        serve = payload["phases"]["steady_serve"]
+        assert serve["completed"] == serve["queries"] > 0
+        assert serve["failed"] == 0
+        assert serve["sustained_qps"] > 0
+        assert serve["latency_ms"]["p99_ms"] >= serve["latency_ms"]["p50_ms"] >= 0
+        assert "serving (open loop)" in out
+
+    def test_bench_command_no_serve_skips_phase(self, capsys, tmp_path, micro_scale, monkeypatch):
+        monkeypatch.setitem(SCALES, "micro", micro_scale)
+        output = tmp_path / "BENCH_micro.json"
+        exit_code = main(
+            ["bench", "--scale", "micro", "--queries", "8", "--repeats", "1",
+             "--no-serve", "--json", str(output)]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert "steady_serve" not in payload["phases"]
+        assert "serving (open loop)" not in capsys.readouterr().out
+
+    def test_serve_bench_command_writes_snapshot(self, capsys, tmp_path, micro_scale, monkeypatch):
+        monkeypatch.setitem(SCALES, "micro", micro_scale)
+        output = tmp_path / "SERVE_micro.json"
+        exit_code = main(
+            [
+                "serve-bench",
+                "--scale",
+                "micro",
+                "--queries",
+                "8",
+                "--repeats",
+                "2",
+                "--rate",
+                "400",
+                "--clients",
+                "2",
+                "--json",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "serving (open loop)" in out
+        payload = json.loads(output.read_text())
+        assert payload["kind"] == "repro-serve-snapshot"
+        assert payload["scale"] == "micro"
+        serve = payload["serve"]
+        assert serve["completed"] == serve["queries"] == 16
+        assert serve["failed"] == 0
+        assert serve["n_clients"] == 2
+        assert serve["offered_qps"] == 400
+        assert serve["batches"] >= 1
+        assert (
+            serve["size_flushes"] + serve["deadline_flushes"] + serve["drain_flushes"]
+            == serve["batches"]
+        )
 
     def test_unknown_command_fails(self):
         with pytest.raises(SystemExit):

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.storage.buffer import BufferCounters, BufferPool, ShardedBufferPool
@@ -128,6 +130,43 @@ class TestDecodedLayer:
         pool.clear()
         assert pool.get_decoded("g", 0) is None
 
+    def test_invalidation_counts_decoded_drops(self):
+        """Regression: file invalidation used to drop decoded entries
+        without counting them, under-reporting decoded drops after merges
+        delete files."""
+        pool = BufferPool(8)
+        pool.put("merge", 0, b"a")
+        pool.put_decoded("merge", 0, "d0")
+        pool.put("merge", 1, b"b")  # byte page without a decoded entry
+        pool.put("other", 0, b"c")
+        pool.put_decoded("other", 0, "d1")
+        pool.invalidate_file("merge")
+        # Exactly the one decoded entry of the invalidated file is counted,
+        # on its own counter — the eviction counter stays untouched.
+        assert pool.decoded_invalidations == 1
+        assert pool.decoded_evictions == 0
+        assert pool.counters().decoded_invalidations == 1
+
+    def test_decoded_drop_invariant_across_eviction_and_invalidation(self):
+        """Every decoded drop outside clear() is counted by exactly one of
+        decoded_evictions / decoded_invalidations."""
+        pool = BufferPool(2)
+        decoded_added = 0
+        pool.put("f", 0, b"a")
+        pool.put_decoded("f", 0, "d0")
+        decoded_added += 1
+        pool.put("g", 0, b"b")
+        pool.put_decoded("g", 0, "d1")
+        decoded_added += 1
+        pool.put("f", 1, b"c")  # evicts ("f", 0) and its decoded entry
+        pool.invalidate_file("g")  # drops ("g", 0) and its decoded entry
+        assert pool.get_decoded("f", 0) is None
+        assert pool.get_decoded("g", 0) is None
+        dropped = pool.decoded_evictions + pool.decoded_invalidations
+        assert dropped == decoded_added
+        assert pool.decoded_evictions == 1
+        assert pool.decoded_invalidations == 1
+
     def test_counter_accounting_snapshot_and_delta(self):
         pool = BufferPool(2)
         pool.put("f", 0, b"a")
@@ -221,3 +260,73 @@ class TestShardedBufferPool:
             ShardedBufferPool(8, n_shards=0)
         with pytest.raises(ValueError):
             ShardedBufferPool(-1, n_shards=2)
+
+    def test_tiny_capacity_clamps_shard_count(self):
+        """Regression: capacity < n_shards used to give the tail shards
+        capacity 0, so pages routed there silently never cached."""
+        pool = ShardedBufferPool(2, n_shards=8)
+        assert pool.capacity_pages == 2
+        assert pool.n_shards == 2  # clamped: every shard holds >= 1 page
+        # A page must always be cacheable right after it is put, whatever
+        # shard it routes to — with a 0-capacity shard this get() missed.
+        for page in range(20):
+            pool.put("f", page, bytes([page]))
+            assert pool.get("f", page) == bytes([page]), f"page {page} never cached"
+        assert len(pool) <= pool.capacity_pages
+
+    def test_single_page_pool_keeps_one_shard(self):
+        pool = ShardedBufferPool(1, n_shards=16)
+        assert pool.n_shards == 1
+        pool.put("f", 7, b"x")
+        assert pool.get("f", 7) == b"x"
+
+    def test_invalidation_counter_aggregates_over_shards(self):
+        pool = ShardedBufferPool(32, n_shards=4)
+        for page in range(8):
+            pool.put("f", page, b"x")
+            pool.put_decoded("f", page, f"d{page}")
+        pool.invalidate_file("f")
+        assert pool.decoded_invalidations == 8
+        assert pool.counters().decoded_invalidations == 8
+        assert pool.decoded_evictions == 0
+
+
+class TestConcurrentIntrospection:
+    def test_len_and_contains_race_mutating_threads(self):
+        """Regression: __len__/__contains__ read shard state without the
+        shard locks, racing the thread-parallel executor's mutations."""
+        pool = ShardedBufferPool(64, n_shards=4)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def mutate(name: str) -> None:
+            try:
+                page = 0
+                while not stop.is_set():
+                    pool.put(name, page % 200, b"x")
+                    if page % 17 == 0:
+                        pool.invalidate_file(name)
+                    if page % 53 == 0:
+                        pool.clear()
+                    page += 1
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=mutate, args=(name,), daemon=True)
+            for name in ("f", "g")
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            for round_no in range(3000):
+                size = len(pool)
+                assert 0 <= size <= pool.capacity_pages
+                ("f", round_no % 200) in pool  # must never raise
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30)
+        assert not errors, f"concurrent introspection raised: {errors!r}"
