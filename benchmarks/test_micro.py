@@ -19,7 +19,12 @@ import pytest
 from repro.baselines.grid import GridIndex
 from repro.baselines.rtree import STRRTree
 from repro.baselines.str_packing import str_sort_tile
-from repro.bench.perf import best_of, sequential_pass, timed
+from repro.bench.perf import (
+    best_of,
+    measure_concurrent_batches,
+    sequential_pass,
+    timed,
+)
 from repro.bench.runner import generate_workload
 from repro.core.adaptor import Adaptor
 from repro.core.config import OdysseyConfig
@@ -145,6 +150,13 @@ SEQ_SPEEDUP_MIN = float(os.environ.get("REPRO_SEQ_SPEEDUP_MIN", "1.5"))
 PAR_SPEEDUP_MIN = float(os.environ.get("REPRO_PAR_SPEEDUP_MIN", "0"))
 PAR_WORKERS = 4
 PAR_BUFFER_SHARDS = 8
+#: The epoch-overlap bar is likewise opt-in and, unlike the speedup bars,
+#: an *upper* bound: it caps the wall-clock ratio of two concurrent
+#: snapshot-batch streams to one stream (1.0 = perfect overlap of the
+#: lock-free read phases, 2.0 = fully serialized).  CI's parallel smoke
+#: sets ``REPRO_EPOCH_OVERLAP_MIN=1.9``; unset or non-positive means
+#: "measure and report only".  The bar is only meaningful on 2+ cores.
+EPOCH_OVERLAP_MAX = float(os.environ.get("REPRO_EPOCH_OVERLAP_MIN", "0"))
 
 #: The scalar reference configuration used as the speedup baseline.
 SCALAR_CONFIG = OdysseyConfig(columnar=False)
@@ -312,6 +324,36 @@ def test_parallel_batch_speedup(batch_suite, batch_workload):
         assert speedup >= PAR_SPEEDUP_MIN, (
             f"parallel speedup {speedup:.2f}x at workers={PAR_WORKERS} is below "
             f"the {PAR_SPEEDUP_MIN:g}x bar (REPRO_PAR_SPEEDUP_MIN)"
+        )
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_epoch_snapshot_overlap(batch_suite, batch_workload):
+    """Two concurrent ``snapshot=True`` batch streams vs one stream.
+
+    The epoch read path pins an immutable snapshot and resolves, reads and
+    filters without the engine gate, so two streams should genuinely
+    overlap: the concurrent wall must stay well below 2x the single-stream
+    wall.  Measured with the same protocol ``run_perf_snapshot`` records
+    as the ``concurrent_batches`` phase; the bar is enforced only when
+    ``REPRO_EPOCH_OVERLAP_MIN`` is set (CI's multi-core parallel smoke
+    sets 1.9) and the host has 2+ cores — on one core nothing can overlap.
+    """
+    odyssey = _converged_engine(batch_suite, batch_workload)
+    single_seconds, concurrent_seconds = measure_concurrent_batches(
+        odyssey, batch_workload, batch_size=BATCH_SIZE, repeats=3, threads=2
+    )
+    ratio = concurrent_seconds / single_seconds
+    print(
+        f"\nepoch overlap: single stream {single_seconds * 1e3:.1f} ms, "
+        f"2 concurrent streams {concurrent_seconds * 1e3:.1f} ms, "
+        f"ratio {ratio:.2f} (cpus={os.cpu_count()})"
+    )
+    if EPOCH_OVERLAP_MAX > 0 and (os.cpu_count() or 1) >= 2:
+        assert ratio <= EPOCH_OVERLAP_MAX, (
+            f"two concurrent snapshot-batch streams took {ratio:.2f}x the "
+            f"single-stream wall — above the {EPOCH_OVERLAP_MAX:g}x bar "
+            f"(REPRO_EPOCH_OVERLAP_MIN); the read phase is serializing"
         )
 
 

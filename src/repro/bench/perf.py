@@ -20,6 +20,12 @@ One snapshot covers, per phase:
   through ``query_batch(..., workers=K)`` over a sharded buffer pool, one
   entry per requested ``K`` (``workers=1`` is the serial-batch baseline
   the parallel speedup is computed against);
+* **concurrent_batches** — the epoch-overlap phase: the batched workload
+  through ``query_batch(..., snapshot=True)`` once from a single thread
+  and once from two threads concurrently (each thread runs the full
+  chunked pass).  The recorded ``overlap_ratio`` — concurrent wall over
+  single wall — is the degree to which the lock-free MVCC read phase
+  actually overlaps: 1.0 is perfect overlap, 2.0 is fully serialized;
 * **steady_serve** — the serving phase: the workload is offered to a
   :class:`~repro.serve.QueryService` (dynamic batching with size and
   deadline triggers) under an **open-loop arrival process** from several
@@ -38,6 +44,7 @@ from __future__ import annotations
 
 import json
 import platform
+import threading
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -79,6 +86,63 @@ def sequential_pass(odyssey: SpaceOdyssey, workload) -> None:
     """One sequential pass over a workload (the timed unit of every bar)."""
     for query in workload:
         odyssey.query(query.box, query.dataset_ids)
+
+
+def measure_concurrent_batches(
+    odyssey: SpaceOdyssey,
+    workload,
+    *,
+    batch_size: int,
+    repeats: int = 3,
+    threads: int = 2,
+) -> tuple[float, float]:
+    """Time the epoch-snapshot overlap protocol on a converged engine.
+
+    Returns ``(single_seconds, concurrent_seconds)``: the best-of wall
+    time of one chunked ``query_batch(..., snapshot=True)`` pass from a
+    single thread, and the best-of wall time for ``threads`` threads each
+    running that same pass concurrently (released together by a barrier).
+    Perfectly overlapping read phases keep the ratio near 1.0; a fully
+    serialized engine pushes it toward ``threads``.
+
+    Shared with the acceptance-bar smoke in ``benchmarks/test_micro.py``
+    (the ``REPRO_EPOCH_OVERLAP_MIN`` bar) so CI and the ``BENCH_*.json``
+    trajectory measure the same thing.
+    """
+
+    def snapshot_pass() -> None:
+        for start in range(0, len(workload), batch_size):
+            odyssey.query_batch(workload[start : start + batch_size], snapshot=True)
+
+    snapshot_pass()  # warm the snapshot path off the clock
+    single_seconds = best_of(repeats, lambda: timed(snapshot_pass))
+
+    def concurrent_pass() -> float:
+        gate = threading.Barrier(threads + 1)
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                gate.wait()
+                snapshot_pass()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        gate.wait()
+        begin = time.perf_counter()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - begin
+        if errors:
+            raise errors[0]
+        return elapsed
+
+    concurrent_pass()  # warm
+    concurrent_seconds = best_of(repeats, concurrent_pass)
+    return single_seconds, concurrent_seconds
 
 
 def measure_serving(
@@ -137,6 +201,7 @@ def run_perf_snapshot(
     config: OdysseyConfig | None = None,
     workers: tuple[int, ...] = (1, 2, 4),
     buffer_shards: int = 8,
+    concurrent_threads: int = 2,
     serve: bool = True,
     serve_repeats: int = 4,
     serve_rate_qps: float | None = None,
@@ -158,6 +223,13 @@ def run_perf_snapshot(
     ``query_batch(..., workers=K)`` on its own converged engine whose
     disk uses ``buffer_shards`` lock-striped buffer-pool shards.  Pass an
     empty tuple to skip the sweep.
+
+    ``concurrent_threads`` sizes the epoch-overlap phase: that many
+    threads each run the full chunked workload through
+    ``query_batch(..., snapshot=True)`` at once, against a single shared
+    converged engine, and the wall ratio to a single-thread pass is
+    recorded as ``overlap_ratio``.  Pass ``0`` (or disable
+    ``snapshot_reads`` in the config) to skip the phase.
 
     ``serve=True`` adds the open-loop serving phase: the workload,
     repeated ``serve_repeats`` times for stable percentiles, is offered
@@ -272,6 +344,34 @@ def run_perf_snapshot(
             "batch_size": batch_size,
             "buffer_shards": buffer_shards,
             "sweep": sweep,
+        }
+
+    # Epoch-overlap phase: how well two concurrent snapshot-batch streams
+    # overlap on the lock-free MVCC read path (only meaningful when the
+    # engine keeps epoch machinery at all).
+    if config.snapshot_reads and concurrent_threads > 1:
+        epoch_engine = SpaceOdyssey(
+            suite.fork(buffer_shards=buffer_shards).catalog, config
+        )
+        sequential_pass(epoch_engine, workload)  # converge off the clock
+        single_seconds, concurrent_seconds = measure_concurrent_batches(
+            epoch_engine,
+            workload,
+            batch_size=batch_size,
+            repeats=repeats,
+            threads=concurrent_threads,
+        )
+        phases["concurrent_batches"] = {
+            "batch_size": batch_size,
+            "threads": concurrent_threads,
+            "single_seconds": single_seconds,
+            "concurrent_seconds": concurrent_seconds,
+            "overlap_ratio": concurrent_seconds / single_seconds
+            if single_seconds > 0
+            else None,
+            "queries_per_second": concurrent_threads * len(workload) / concurrent_seconds
+            if concurrent_seconds > 0
+            else None,
         }
 
     if serve:
@@ -514,6 +614,14 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
         lines.append(
             "parallel batch: best worker count is "
             f"{_ratio(speedups['parallel_best_vs_workers1'])} vs workers=1"
+        )
+    concurrent = phases.get("concurrent_batches")
+    if concurrent is not None:
+        ratio = concurrent.get("overlap_ratio")
+        lines.append(
+            f"epoch overlap: {concurrent['threads']} concurrent snapshot-batch "
+            f"streams at {_ratio(ratio)} the single-stream wall "
+            f"(1.0 = perfect overlap, {concurrent['threads']:.1f} = serialized)"
         )
     serve_phase = phases.get("steady_serve")
     if serve_phase is not None:

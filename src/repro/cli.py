@@ -177,6 +177,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.add_argument(
+        "--concurrent-threads",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "threads of the concurrent_batches (epoch-overlap) phase: each "
+            "runs the chunked workload through query_batch(snapshot=True) "
+            "at once against one shared engine (default: 2; 0 skips)"
+        ),
+    )
+    bench.add_argument(
         "--no-serve",
         action="store_true",
         help="skip the open-loop serving phase of the snapshot",
@@ -343,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
             batch_size=args.batch_size,
             repeats=args.repeats,
             workers=args.workers,
+            concurrent_threads=args.concurrent_threads,
             serve=not args.no_serve,
             serve_rate_qps=args.serve_rate,
             serve_clients=args.serve_clients,

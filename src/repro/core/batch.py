@@ -193,9 +193,13 @@ class BatchReadSet:
         if group is not None:
             self.dedup_hits += 1
             return group
-        group = DecodedGroup.from_records(file.read_group_array(run), self._dimension)
+        group = self._load(file, run)
         self._groups[key] = group
         return group
+
+    def _load(self, file: PagedFile[SpatialObject], run: StoredRun) -> DecodedGroup:
+        """Fetch and decode one group (overridden by the epoch read set)."""
+        return DecodedGroup.from_records(file.read_group_array(run), self._dimension)
 
 
 class BatchExecutor:
@@ -207,6 +211,37 @@ class BatchExecutor:
 
     def __init__(self, processor: QueryProcessor) -> None:
         self._processor = processor
+
+    # ------------------------------------------------------------------ #
+    # Read-state hooks
+    # ------------------------------------------------------------------ #
+    # The retrieval phase reaches engine state only through these four
+    # hooks, so a subclass can redirect the whole read path at a pinned
+    # immutable epoch (repro.core.epoch.EpochExecutor) while reusing the
+    # planning, dedup, filtering and replay machinery unchanged.
+
+    def _leaf_run(self, dataset_id: int, leaf: PartitionNode) -> StoredRun | None:
+        """The stored run to read for one leaf (live: the leaf's own run)."""
+        return leaf.run
+
+    def _tree_file(self, dataset_id: int) -> PagedFile[SpatialObject]:
+        """The partition file of one dataset."""
+        return self._processor.live_trees[dataset_id].file
+
+    def _merge_file(self, info) -> PagedFile[SpatialObject]:
+        """The open merge file behind a directory entry."""
+        return self._processor.merger.merge_file(info.combination)
+
+    def _route_directory(self):
+        """The merge directory routing decisions are made against."""
+        return self._processor.directory
+
+    @staticmethod
+    def _run_start(run: StoredRun | None) -> int:
+        """Sort key: where a stored run starts on disk (0 when empty)."""
+        if run is None or not run.extents:
+            return 0
+        return run.extents[0].start
 
     def run(self, batch: QueryBatch) -> BatchResult:
         """Execute the batch; equivalent to sequential execution in order."""
@@ -312,8 +347,9 @@ class BatchExecutor:
         The merge directory cannot change between retrieval and the replay
         phase, so all reads of the batch see the same directory state.
         """
+        directory = self._route_directory()
         return {
-            combination: choose_route(self._processor.directory, combination)
+            combination: choose_route(directory, combination)
             for combination in batch.groups()
         }
 
@@ -332,12 +368,10 @@ class BatchExecutor:
         hits come back in the same order no matter which thread — or how
         many threads — execute the queries of a batch.
         """
-        processor = self._processor
-        trees = processor.live_trees
         decision = decisions[query.requested]
         info = decision.merge_info
         merge_plan: list[tuple[int, PartitionNode]] = []
-        individual_plan: list[tuple[int, PartitionNode]] = []
+        individual_plan: list[tuple[int, PartitionNode, StoredRun | None]] = []
         for dataset_id in sorted(query.requested):
             for leaf in needed0[(query.index, dataset_id)]:
                 use_merge = (
@@ -348,7 +382,9 @@ class BatchExecutor:
                 if use_merge:
                     merge_plan.append((dataset_id, leaf))
                 else:
-                    individual_plan.append((dataset_id, leaf))
+                    individual_plan.append(
+                        (dataset_id, leaf, self._leaf_run(dataset_id, leaf))
+                    )
         q_lo, q_hi = box_to_arrays(query.box)
         hits: list[SpatialObject] = []
         count = 0
@@ -361,7 +397,7 @@ class BatchExecutor:
             return group.n_records
 
         if merge_plan and info is not None:
-            merge_file = processor.merger.merge_file(info.combination)
+            merge_file = self._merge_file(info)
             merge_plan.sort(
                 key=lambda item: QueryProcessor._segment_start(
                     info, item[1].key, item[0]
@@ -370,13 +406,11 @@ class BatchExecutor:
             for dataset_id, leaf in merge_plan:
                 group = read_set.read(merge_file, info.segment(leaf.key, dataset_id))
                 count += _collect(group, dataset_id)
-        individual_plan.sort(
-            key=lambda item: (item[0], QueryProcessor._partition_start(item[1]))
-        )
-        for dataset_id, leaf in individual_plan:
-            if leaf.run is None or leaf.run.n_records == 0:
+        individual_plan.sort(key=lambda item: (item[0], self._run_start(item[2])))
+        for dataset_id, leaf, run in individual_plan:
+            if run is None or run.n_records == 0:
                 continue
-            group = read_set.read(trees[dataset_id].file, leaf.run)
+            group = read_set.read(self._tree_file(dataset_id), run)
             count += _collect(group, dataset_id)
         return hits, count
 

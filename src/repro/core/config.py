@@ -76,6 +76,17 @@ class OdysseyConfig:
         ``tests/test_columnar_differential.py`` enforces this); the scalar
         path is kept as the reference implementation and performance
         baseline.
+    snapshot_reads:
+        Implementation switch, not a paper parameter: when true (the
+        default) the engine maintains MVCC-style epoch snapshots
+        (:mod:`repro.core.epoch`) — every adaptation publishes a new
+        immutable ``EngineEpoch`` and destructive page writes retain
+        pre-images for pinned readers, enabling
+        ``query_batch(..., snapshot=True)`` and the serving frontend's
+        pipelined dispatch (the read phase of batch N+1 overlaps the
+        writer phase of batch N).  Epoch bookkeeping changes no charged
+        I/O, no results and no on-disk bytes; set to false to strip the
+        machinery entirely (snapshot reads then raise ``RuntimeError``).
     """
 
     refinement_threshold: float = 4.0
@@ -90,6 +101,7 @@ class OdysseyConfig:
     merge_only_converged: bool = True
     adaptive_merge_threshold: bool = False
     columnar: bool = True
+    snapshot_reads: bool = True
 
     def __post_init__(self) -> None:
         if self.refinement_threshold <= 0:

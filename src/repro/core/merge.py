@@ -68,6 +68,24 @@ class MergeFileInfo:
         """Record a newly written segment."""
         self.entries.setdefault(key, {})[dataset_id] = run
 
+    def copy(self) -> "MergeFileInfo":
+        """An entry-level deep copy for epoch snapshots.
+
+        The ``entries`` mapping and its per-dataset inner dicts are
+        copied (``add_segment`` mutates them in place on the live info);
+        the :class:`~repro.storage.pagedfile.StoredRun` values are frozen
+        and shared.
+        """
+        return MergeFileInfo(
+            combination=self.combination,
+            file_name=self.file_name,
+            entries={
+                key: dict(per_dataset) for key, per_dataset in self.entries.items()
+            },
+            created_at=self.created_at,
+            last_used=self.last_used,
+        )
+
 
 class RouteKind(enum.Enum):
     """The paper's four routing cases for a queried combination."""
@@ -98,23 +116,55 @@ class RoutingDecision:
 
 
 class MergeDirectory:
-    """Registry of all existing merge files, keyed by combination."""
+    """Registry of all existing merge files, keyed by combination.
+
+    The directory carries a :attr:`version` counter bumped on every
+    :meth:`register`/:meth:`remove` — the merger re-registers an info
+    after extending it in place, so any observable change to the merge
+    map bumps the version.  The epoch layer uses it for copy-on-write:
+    an epoch's frozen directory copy is reused as long as the version is
+    unchanged.
+    """
 
     def __init__(self) -> None:
         self._files: dict[Combination, MergeFileInfo] = {}
+        self._version = 0
 
     # -- registration ----------------------------------------------------- #
 
     def register(self, info: MergeFileInfo) -> None:
         """Add or replace the merge file of a combination."""
         self._files[info.combination] = info
+        self._version += 1
 
     def remove(self, combination: Combination) -> MergeFileInfo:
         """Forget a combination's merge file and return its entry."""
         try:
-            return self._files.pop(combination)
+            info = self._files.pop(combination)
         except KeyError:
             raise KeyError(f"no merge file for combination {sorted(combination)}") from None
+        self._version += 1
+        return info
+
+    @property
+    def version(self) -> int:
+        """Monotone change counter (see class docstring)."""
+        return self._version
+
+    def freeze(self) -> "MergeDirectory":
+        """An immutable-by-convention snapshot copy of the directory.
+
+        Every info is deep-copied at the entry level
+        (:meth:`MergeFileInfo.copy`), so later in-place ``add_segment``
+        mutations of the live infos are invisible to holders of the
+        frozen copy.  The copy keeps the live version so staleness checks
+        compare directly.
+        """
+        frozen = MergeDirectory()
+        for info in self._files.values():
+            frozen._files[info.combination] = info.copy()
+        frozen._version = self._version
+        return frozen
 
     # -- lookup ------------------------------------------------------------ #
 

@@ -131,7 +131,13 @@ class SpaceOdyssey(MultiDatasetIndex):
         """Execute a range query over the requested datasets."""
         return self._processor.execute(box, dataset_ids)
 
-    def query_batch(self, queries, *, workers: int | None = None) -> "BatchResult":
+    def query_batch(
+        self,
+        queries,
+        *,
+        workers: int | None = None,
+        snapshot: bool = False,
+    ) -> "BatchResult":
         """Execute a batch of range queries together (see :mod:`repro.core.batch`).
 
         ``queries`` is an iterable of ``(box, dataset_ids)`` pairs,
@@ -155,8 +161,44 @@ class SpaceOdyssey(MultiDatasetIndex):
         order included), reports, adaptive state and on-disk bytes are
         bit-identical to ``workers=1``.  Pair it with a sharded buffer
         pool (``Disk(buffer_shards=...)``) on multi-core hosts.
+
+        ``snapshot=True`` executes through the epoch-snapshot engine
+        (:mod:`repro.core.epoch`, requires
+        ``OdysseyConfig(snapshot_reads=True)``, the default): the read
+        phase runs lock-free against a pinned epoch, so it overlaps with
+        other batches' writer phases; only the short in-order adaptive
+        replay takes the gate.  In isolation a snapshot batch is
+        bit-identical to the serial batch executor; under concurrency
+        per-batch results stay exact (answers depend only on the data
+        and the query window) while writer phases serialize in arrival
+        order.  Here ``workers`` defaults to *serial* reads — the
+        overlap is between batches — and ``workers=K > 1`` additionally
+        fans this batch's reads across ``K`` threads.
         """
-        return self._processor.execute_batch(queries, workers=workers)
+        return self._processor.execute_batch(
+            queries, workers=workers, snapshot=snapshot
+        )
+
+    def prepare_batch(self, queries, *, workers: int | None = None):
+        """Run a batch's lock-free snapshot read phase; defer the writer phase.
+
+        Returns a :class:`~repro.core.epoch.PreparedBatch` whose results
+        are fully materialized against a pinned epoch.  Pass it to
+        :meth:`commit_batch` to apply CPU charges and the in-order
+        adaptive replay (and publish the next epoch).  The serving
+        frontend uses this split to pipeline: the dispatcher prepares
+        batch N+1 while the writer thread commits batch N.
+        """
+        return self._processor.prepare_batch(queries, workers=workers)
+
+    def commit_batch(self, prepared) -> "BatchResult":
+        """Apply a prepared batch's writer phase and return its result."""
+        return self._processor.commit_batch(prepared)
+
+    @property
+    def epochs(self):
+        """The :class:`~repro.core.epoch.EpochManager` (``None`` if disabled)."""
+        return self._processor.epochs
 
     def serve(
         self,
@@ -165,6 +207,7 @@ class SpaceOdyssey(MultiDatasetIndex):
         max_delay_ms: float = 5.0,
         workers: int | None = None,
         max_pending: int | None = None,
+        pipeline: bool | None = None,
     ) -> "QueryService":
         """Start a multi-tenant serving frontend over this engine.
 
@@ -180,6 +223,13 @@ class SpaceOdyssey(MultiDatasetIndex):
         manager) to drain and release it; the engine stays fully usable
         afterwards, and direct ``query``/``query_batch`` calls made while
         the service runs simply interleave through the gate lock.
+
+        ``pipeline`` controls two-batch pipelining over the
+        epoch-snapshot engine (the dispatcher prepares batch N+1's
+        lock-free read phase while a writer thread commits batch N).  It
+        defaults to on whenever ``OdysseyConfig.snapshot_reads`` is
+        enabled; per-client results remain identical to sequential
+        arrival-order replay either way.
         """
         from repro.serve.service import QueryService
 
@@ -189,6 +239,7 @@ class SpaceOdyssey(MultiDatasetIndex):
             max_delay_ms=max_delay_ms,
             workers=workers,
             max_pending=max_pending,
+            pipeline=pipeline,
         )
 
     # ------------------------------------------------------------------ #

@@ -106,9 +106,7 @@ class ParallelReadSet(BatchReadSet):
         with lock:
             group = self._groups.get(key)
             if group is None:
-                group = DecodedGroup.from_records(
-                    file.read_group_array(run), self._dimension
-                )
+                group = self._load(file, run)
                 with self._registry_lock:
                     self._groups[key] = group
             else:

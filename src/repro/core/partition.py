@@ -84,6 +84,53 @@ class PartitionNode:
 
 
 @dataclass(frozen=True, slots=True)
+class TreeEpochSnapshot:
+    """A full immutable capture of one tree's read state for an epoch.
+
+    :class:`LeafSnapshot` freezes the leaf *set* and MBR arrays but shares
+    the (mutable) :class:`PartitionNode` objects — a later refinement
+    nulls a captured leaf's ``run`` in place.  The epoch capture therefore
+    also freezes every leaf's :class:`~repro.storage.pagedfile.StoredRun`
+    at capture time, keyed by partition key (keys are permanent and never
+    reassigned), plus everything a reader needs without touching the live
+    tree: the window-extension parameters and the partition file handle.
+    Captured under the adaptation lock, so all fields are mutually
+    consistent.
+    """
+
+    version: int
+    snapshot: LeafSnapshot
+    runs: tuple[StoredRun | None, ...]
+    run_by_key: dict[PartitionKey, StoredRun | None]
+    max_extent: tuple[float, ...]
+    universe: Box
+    file: PagedFile
+
+    def run_of(self, leaf: PartitionNode) -> StoredRun | None:
+        """The leaf's stored run as of the capture (not the live one)."""
+        return self.run_by_key[leaf.key]
+
+    def overlapping_batch(self, boxes: Sequence[Box]) -> list[list[PartitionNode]]:
+        """Frozen-state :meth:`PartitionTree.leaves_overlapping_batch`.
+
+        Runs the same ``intersect_matrix`` kernel over the captured MBR
+        arrays, so it returns exactly the leaves (in exactly the order)
+        the live tree would have returned at capture time — without
+        touching the live tree's snapshot cache.
+        """
+        boxes = list(boxes)
+        if not boxes:
+            return []
+        snapshot = self.snapshot
+        if not snapshot.leaves:
+            return [[] for _ in boxes]
+        q_lo, q_hi = boxes_to_arrays(boxes, dimension=self.universe.dimension)
+        matrix = intersect_matrix(q_lo, q_hi, snapshot.lo, snapshot.hi)
+        leaves = snapshot.leaves
+        return [[leaves[j] for j in np.nonzero(row)[0]] for row in matrix]
+
+
+@dataclass(frozen=True, slots=True)
 class LeafSnapshot:
     """An immutable view of a tree's leaves with their MBRs as NumPy arrays.
 
@@ -329,6 +376,26 @@ class PartitionTree:
             )
             self._leaf_snapshot = snapshot
         return snapshot
+
+    def epoch_snapshot(self) -> TreeEpochSnapshot:
+        """Capture the tree's full read state for an engine epoch.
+
+        Must be called under the adaptation lock (no concurrent
+        refinement), so the captured runs are consistent with the
+        captured leaf set.  The result shares the cached
+        :class:`LeafSnapshot` and the live node objects but freezes every
+        leaf's run — see :class:`TreeEpochSnapshot`.
+        """
+        snapshot = self.leaf_snapshot()
+        return TreeEpochSnapshot(
+            version=self._version,
+            snapshot=snapshot,
+            runs=tuple(leaf.run for leaf in snapshot.leaves),
+            run_by_key={leaf.key: leaf.run for leaf in snapshot.leaves},
+            max_extent=self._max_extent,
+            universe=self._universe,
+            file=self._file,
+        )
 
     def _leaves_in_search_order(self) -> list[PartitionNode]:
         """All leaves in the visitation order of :meth:`leaves_overlapping`.

@@ -87,6 +87,18 @@ class QueryProcessor:
     Parallelism lives *inside* a batch: ``execute_batch(..., workers=K)``
     fans the read-only phases of one batch across ``K`` threads while the
     gate is held (see :mod:`repro.core.parallel`).
+
+    With ``OdysseyConfig(snapshot_reads=True)`` (the default) the gate
+    additionally becomes a pure *writer* lock for the epoch read path
+    (:mod:`repro.core.epoch`): every gated operation publishes an
+    immutable :class:`~repro.core.epoch.EngineEpoch` on completion, and
+    ``execute_batch(..., snapshot=True)`` — or the
+    :meth:`prepare_batch`/:meth:`commit_batch` pair — runs its whole read
+    phase against a pinned epoch without holding the gate, so concurrent
+    batches overlap their reads and only their short writer phases
+    serialize.  Because answers are exact regardless of refinement state
+    (see above), a reader pinned to a slightly older epoch still returns
+    exact hits.
     """
 
     def __init__(
@@ -109,6 +121,13 @@ class QueryProcessor:
         self._queries_executed = 0
         self._last_report: QueryReport | None = None
         self._gate = threading.RLock()
+        self._epochs = None
+        if config.snapshot_reads:
+            from repro.core.epoch import EpochManager
+
+            self._epochs = EpochManager(self._disk, catalog.dimension)
+            with self._gate:
+                self.publish_epoch()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -177,13 +196,39 @@ class QueryProcessor:
         self._last_report = report
 
     # ------------------------------------------------------------------ #
+    # Epoch surface (snapshot reads)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def gate(self) -> threading.RLock:
+        """The adaptation (writer) lock top-level operations serialize on."""
+        return self._gate
+
+    @property
+    def epochs(self):
+        """The :class:`~repro.core.epoch.EpochManager`, or ``None`` when
+        ``snapshot_reads`` is disabled."""
+        return self._epochs
+
+    def publish_epoch(self) -> None:
+        """Capture and publish a new epoch from the current adaptive state.
+
+        Must be called with the gate held (every caller in this module
+        is); a no-op when snapshot reads are disabled.
+        """
+        if self._epochs is not None:
+            self._epochs.publish(self._trees, self._directory, self._statistics)
+
+    # ------------------------------------------------------------------ #
     # Query execution
     # ------------------------------------------------------------------ #
 
     def execute(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
         """Execute one range query over the requested datasets."""
         with self._gate:
-            return self._execute(box, dataset_ids)
+            results = self._execute(box, dataset_ids)
+            self.publish_epoch()
+            return results
 
     def _execute(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
         requested = frozenset(dataset_ids)
@@ -329,7 +374,9 @@ class QueryProcessor:
         self.note_executed(report)
         return results
 
-    def execute_batch(self, queries, workers: int | None = None) -> "BatchResult":
+    def execute_batch(
+        self, queries, workers: int | None = None, snapshot: bool = False
+    ) -> "BatchResult":
         """Execute a batch of queries through the batched engine.
 
         See :mod:`repro.core.batch` for the execution model; result sets
@@ -342,16 +389,58 @@ class QueryProcessor:
         batch engine; ``K > 1`` fans the read-only phases across ``K``
         threads with results, reports, adaptive state and on-disk bytes
         bit-identical to the serial batch.
+
+        ``snapshot=True`` routes through the epoch executor
+        (:mod:`repro.core.epoch`): the read phase runs against a pinned
+        immutable epoch *without* holding the gate, and only the short
+        writer phase serializes — so concurrent batches overlap their
+        reads.  In isolation the epoch executor is bit-identical to the
+        batch executor (reports and ``objects_examined`` included);
+        requires ``OdysseyConfig(snapshot_reads=True)``.
         """
         from repro.core.batch import BatchExecutor, QueryBatch
 
         batch = queries if isinstance(queries, QueryBatch) else QueryBatch(queries)
+        if snapshot:
+            if self._epochs is None:
+                raise RuntimeError(
+                    "snapshot reads require OdysseyConfig(snapshot_reads=True)"
+                )
+            from repro.core.epoch import EpochExecutor
+
+            return EpochExecutor(self, workers).run(batch)
         with self._gate:
             if workers is not None and workers != 1:
                 from repro.core.parallel import ParallelExecutor
 
-                return ParallelExecutor(self, workers).run(batch)
-            return BatchExecutor(self).run(batch)
+                result = ParallelExecutor(self, workers).run(batch)
+            else:
+                result = BatchExecutor(self).run(batch)
+            self.publish_epoch()
+            return result
+
+    def prepare_batch(self, queries, workers: int | None = None):
+        """Run the lock-free read phase of a snapshot batch.
+
+        Pins the current epoch, resolves overlaps, reads and filters every
+        query against the pinned snapshot — all without the gate — and
+        returns an opaque prepared batch for :meth:`commit_batch`.  The
+        serving dispatcher uses this split to overlap the read phase of
+        batch N+1 with the writer phase of batch N.
+        """
+        if self._epochs is None:
+            raise RuntimeError(
+                "snapshot reads require OdysseyConfig(snapshot_reads=True)"
+            )
+        from repro.core.batch import QueryBatch
+        from repro.core.epoch import EpochExecutor
+
+        batch = queries if isinstance(queries, QueryBatch) else QueryBatch(queries)
+        return EpochExecutor(self, workers).prepare(batch)
+
+    def commit_batch(self, prepared) -> "BatchResult":
+        """Apply a prepared batch's writer phase (gate-held, in order)."""
+        return prepared.executor.commit(prepared)
 
     @staticmethod
     def _segment_start(info, key: PartitionKey, dataset_id: int) -> int:

@@ -10,6 +10,23 @@ thread-parallel executor (``workers=K``).  Every submission gets its own
 :class:`~concurrent.futures.Future`, so results *and* exceptions route
 back to the client that submitted them.
 
+Pipelined dispatch
+------------------
+When the engine has epoch-snapshot reads enabled
+(``OdysseyConfig.snapshot_reads``, the default), the service pipelines
+two batches: the dispatcher runs each batch's *lock-free read phase*
+(:meth:`~repro.core.odyssey.SpaceOdyssey.prepare_batch`, pinned to a
+published epoch) and hands the prepared batch to a dedicated writer
+thread, which applies the *writer phases* — CPU charges plus the
+in-order adaptive replay under the engine's gate — strictly in arrival
+order.  The read phase of batch N+1 therefore overlaps the writer phase
+of batch N.  Per-client results are unchanged: a snapshot read returns
+exact answers (they depend only on the data and the query window), and
+the writer thread commits batches in the same arrival order the
+sequential dispatcher would have, so the adaptive state evolves
+identically.  Disable with ``pipeline=False`` to get the classic
+one-batch-at-a-time dispatcher.
+
 Determinism contract
 --------------------
 Submissions are assigned a global **arrival sequence number** and queued
@@ -161,6 +178,12 @@ class QueryService:
         Optional backpressure bound: with a value, :meth:`submit` blocks
         once this many queries are queued undispatched (the queue is
         bounded).  ``None`` (default) never blocks.
+    pipeline:
+        Two-batch pipelining over the epoch-snapshot engine (see the
+        module docstring).  ``None`` (default) enables it exactly when
+        the engine has ``snapshot_reads``; ``True`` requires it
+        (``ValueError`` otherwise); ``False`` forces the classic
+        dispatcher.
     """
 
     def __init__(
@@ -171,6 +194,7 @@ class QueryService:
         max_delay_ms: float = 5.0,
         workers: int | None = None,
         max_pending: int | None = None,
+        pipeline: bool | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -180,7 +204,14 @@ class QueryService:
             raise ValueError("workers must be >= 1")
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None)")
+        if pipeline is None:
+            pipeline = odyssey.config.snapshot_reads
+        elif pipeline and not odyssey.config.snapshot_reads:
+            raise ValueError(
+                "pipeline=True requires OdysseyConfig(snapshot_reads=True)"
+            )
         self._odyssey = odyssey
+        self._pipeline = pipeline
         self._max_batch = max_batch
         self._max_delay_s = max_delay_ms / 1000.0
         self._workers = workers
@@ -193,6 +224,17 @@ class QueryService:
         self._abort = False
         self._stats_lock = threading.Lock()
         self._stats = ServiceStats()
+        self._writer: threading.Thread | None = None
+        if self._pipeline:
+            # Depth 2: the dispatcher may finish preparing batch N+1
+            # while the writer still holds batch N — any deeper and read
+            # phases would race ever further ahead of the committed
+            # adaptive state for no extra overlap.
+            self._write_queue: Queue = Queue(maxsize=2)
+            self._writer = threading.Thread(
+                target=self._write_loop, name="odyssey-serve-writer", daemon=True
+            )
+            self._writer.start()
         self._dispatcher = threading.Thread(
             target=self._run, name="odyssey-serve-dispatcher", daemon=True
         )
@@ -250,6 +292,11 @@ class QueryService:
     def odyssey(self) -> SpaceOdyssey:
         """The engine being served."""
         return self._odyssey
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether dispatch is pipelined over the epoch-snapshot engine."""
+        return self._pipeline
 
     def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
         """Stop accepting submissions and shut the dispatcher down.
@@ -313,37 +360,87 @@ class QueryService:
         # (the sentinel is the last thing a closing service enqueues);
         # with abort, _dispatch already failed everything it saw, and
         # nothing can follow the sentinel.
+        if self._writer is not None:
+            self._write_queue.put(_SHUTDOWN)
+            self._writer.join()
 
     def _dispatch(self, batch: list[Submission], reason: str) -> None:
-        """Execute one coalesced batch and resolve its futures."""
-        fallbacks = 0
+        """Execute one coalesced batch and resolve its futures.
+
+        In pipelined mode this only runs the lock-free read phase and
+        hands the prepared batch to the writer thread (bounded queue, so
+        the dispatcher stays at most two batches ahead); otherwise it
+        drains the batch through ``query_batch`` right here.
+        """
         if self._abort:
             error = ServiceClosed("service closed before this query was executed")
             for submission in batch:
                 self._resolve(submission, error=error)
-        else:
+            self._note_batch(batch, reason, fallbacks=0)
+            return
+        if self._pipeline:
             try:
-                result = self._odyssey.query_batch(
+                prepared = self._odyssey.prepare_batch(
                     [(s.box, s.dataset_ids) for s in batch], workers=self._workers
                 )
             except BaseException:
-                # Failure isolation: replay the batch sequentially (same
-                # arrival order) so only the offending queries fail.  The
-                # batch executor validates every dataset id before doing
-                # any work, so a validation failure left no partial state.
+                # A failed read phase (e.g. an unknown dataset id — ids
+                # are validated before any work) leaves no state behind;
+                # the writer replays the batch sequentially for failure
+                # isolation, keeping arrival order.
+                prepared = None
+            self._write_queue.put((batch, reason, prepared))
+            return
+        fallbacks = 0
+        try:
+            result = self._odyssey.query_batch(
+                [(s.box, s.dataset_ids) for s in batch], workers=self._workers
+            )
+        except BaseException:
+            # Failure isolation: replay the batch sequentially (same
+            # arrival order) so only the offending queries fail.  The
+            # batch executor validates every dataset id before doing
+            # any work, so a validation failure left no partial state.
+            fallbacks = 1
+            self._replay_sequentially(batch)
+        else:
+            for submission, hits in zip(batch, result.results):
+                self._resolve(submission, hits=hits)
+        self._note_batch(batch, reason, fallbacks=fallbacks)
+
+    def _write_loop(self) -> None:
+        """Writer thread: commit prepared batches strictly in arrival order."""
+        while True:
+            item = self._write_queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch, reason, prepared = item
+            fallbacks = 0
+            if prepared is None:
                 fallbacks = 1
-                for submission in batch:
-                    try:
-                        hits = self._odyssey.query(
-                            submission.box, submission.dataset_ids
-                        )
-                    except BaseException as exc:
-                        self._resolve(submission, error=exc)
-                    else:
-                        self._resolve(submission, hits=hits)
+                self._replay_sequentially(batch)
             else:
-                for submission, hits in zip(batch, result.results):
-                    self._resolve(submission, hits=hits)
+                try:
+                    result = self._odyssey.commit_batch(prepared)
+                except BaseException:
+                    fallbacks = 1
+                    self._replay_sequentially(batch)
+                else:
+                    for submission, hits in zip(batch, result.results):
+                        self._resolve(submission, hits=hits)
+            self._note_batch(batch, reason, fallbacks=fallbacks)
+
+    def _replay_sequentially(self, batch: list[Submission]) -> None:
+        """The failure-isolation fallback: one engine call per submission."""
+        for submission in batch:
+            try:
+                hits = self._odyssey.query(submission.box, submission.dataset_ids)
+            except BaseException as exc:
+                self._resolve(submission, error=exc)
+            else:
+                self._resolve(submission, hits=hits)
+
+    def _note_batch(self, batch: list[Submission], reason: str, fallbacks: int) -> None:
         with self._stats_lock:
             self._stats = _bump(
                 self._stats,

@@ -21,6 +21,28 @@ how they are charged; it only lets hot partitions skip re-running
 ``np.frombuffer`` page decoding.  Entries are dropped together with their
 byte page (eviction, overwrite, file invalidation, :meth:`clear`).
 
+Each decoded entry additionally remembers the *exact bytes object* it was
+decoded from, and a lookup only hits when the caller presents that same
+object (``is`` identity, not equality).  This closes a concurrency window:
+a reader that fetched page bytes, lost the CPU while the page was
+overwritten and re-decoded by another thread, and then asked the decoded
+layer, must not be served the decoding of the *newer* bytes.  Identity
+also keeps epoch-snapshot readers honest — pre-images retained by the
+MVCC layer (:mod:`repro.core.epoch`) are distinct bytes objects, so they
+can never alias a decoding of the live page.
+
+Lock ordering
+-------------
+The pool sits strictly *below* the :class:`~repro.storage.disk.Disk` in
+the lock hierarchy: the disk calls into the pool (``invalidate_file``
+runs under the disk lock, byte-layer get/put run under it too) but no
+pool method ever calls back into the disk, so disk-lock → shard-lock is
+the only nesting that occurs and a cycle is impossible.  Within the
+sharded pool, the multi-shard operations (``invalidate_file``, ``clear``,
+``__len__``, ``shard_counters``) all acquire shard locks one at a time in
+ascending index order and never hold two shard locks at once — so they
+cannot deadlock against each other or against single-shard operations.
+
 Sharding
 --------
 :class:`ShardedBufferPool` splits the page budget over N independent
@@ -100,7 +122,11 @@ class BufferPool:
             raise ValueError("capacity_pages must be non-negative")
         self._capacity = capacity_pages
         self._pages: OrderedDict[tuple[str, int], bytes] = OrderedDict()
-        self._decoded: dict[tuple[str, int], Any] = {}
+        # Decoded layer: key -> (source bytes object, decoded value).  The
+        # bytes object is kept so lookups can verify identity (see module
+        # docstring) — it is the same object as self._pages[key] at insert
+        # time, so this holds no extra page memory.
+        self._decoded: dict[tuple[str, int], tuple[bytes, Any]] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -143,25 +169,35 @@ class BufferPool:
             if self._decoded.pop(victim, None) is not None:
                 self._decoded_evictions += 1
 
-    def get_decoded(self, file_name: str, page_no: int) -> Any | None:
-        """The cached decoded array of one page, or ``None``."""
-        value = self._decoded.get((file_name, page_no))
-        if value is None:
+    def get_decoded(self, file_name: str, page_no: int, page_bytes: bytes) -> Any | None:
+        """The cached decoding of exactly ``page_bytes``, or ``None``.
+
+        The caller passes the bytes object it is about to decode; the
+        lookup hits only when the cached entry was decoded from that same
+        object (identity comparison), so a decoding of different bytes —
+        a concurrent overwrite, or an MVCC pre-image — can never be
+        served by mistake.
+        """
+        entry = self._decoded.get((file_name, page_no))
+        if entry is None or entry[0] is not page_bytes:
             self._decoded_misses += 1
             return None
         self._decoded_hits += 1
-        return value
+        return entry[1]
 
-    def put_decoded(self, file_name: str, page_no: int, value: Any) -> None:
-        """Attach a decoded array to a page that is currently byte-cached.
+    def put_decoded(
+        self, file_name: str, page_no: int, page_bytes: bytes, value: Any
+    ) -> None:
+        """Attach the decoding of ``page_bytes`` to its byte-cached page.
 
-        Silently ignored when the byte page is not resident (including the
-        capacity-zero pool): the decoded layer never outlives the bytes it
-        was decoded from, so every byte-invalidation path also covers it.
+        Silently ignored unless the resident byte page *is* ``page_bytes``
+        (identity, covering the not-resident and capacity-zero cases): the
+        decoded layer never outlives — or mismatches — the bytes it was
+        decoded from, so every byte-invalidation path also covers it.
         """
         key = (file_name, page_no)
-        if key in self._pages:
-            self._decoded[key] = value
+        if self._pages.get(key) is page_bytes:
+            self._decoded[key] = (page_bytes, value)
 
     def invalidate_file(self, file_name: str) -> None:
         """Drop every cached page belonging to one file (used on delete).
@@ -300,20 +336,29 @@ class ShardedBufferPool:
         with self._locks[index]:
             self._shards[index].put(file_name, page_no, data)
 
-    def get_decoded(self, file_name: str, page_no: int) -> Any | None:
-        """The cached decoded array of one page, or ``None``."""
+    def get_decoded(self, file_name: str, page_no: int, page_bytes: bytes) -> Any | None:
+        """The cached decoding of exactly ``page_bytes``, or ``None``."""
         index = self.shard_of(file_name, page_no)
         with self._locks[index]:
-            return self._shards[index].get_decoded(file_name, page_no)
+            return self._shards[index].get_decoded(file_name, page_no, page_bytes)
 
-    def put_decoded(self, file_name: str, page_no: int, value: Any) -> None:
-        """Attach a decoded array to a page currently cached in its shard."""
+    def put_decoded(
+        self, file_name: str, page_no: int, page_bytes: bytes, value: Any
+    ) -> None:
+        """Attach the decoding of ``page_bytes`` to its shard's byte page."""
         index = self.shard_of(file_name, page_no)
         with self._locks[index]:
-            self._shards[index].put_decoded(file_name, page_no, value)
+            self._shards[index].put_decoded(file_name, page_no, page_bytes, value)
 
     def invalidate_file(self, file_name: str) -> None:
-        """Drop every cached page of one file, across all shards."""
+        """Drop every cached page of one file, across all shards.
+
+        Shard locks are taken one at a time in ascending index order —
+        never two at once — matching ``clear``/``__len__``/
+        ``shard_counters`` (see the module docstring's lock-ordering
+        section), so concurrent readers iterating the same shards cannot
+        deadlock against an invalidation.
+        """
         for lock, shard in zip(self._locks, self._shards):
             with lock:
                 shard.invalidate_file(file_name)
@@ -339,6 +384,10 @@ class ShardedBufferPool:
     def __len__(self) -> int:
         # Like every other facade method, read shard state only under the
         # shard's lock — an unlocked read races with concurrent mutation.
+        # Locks are acquired one at a time in ascending index order (the
+        # same discipline as invalidate_file/clear/shard_counters), and
+        # never nested, so introspection can run concurrently with an
+        # invalidation without any deadlock surface.
         total = 0
         for lock, shard in zip(self._locks, self._shards):
             with lock:
@@ -346,6 +395,8 @@ class ShardedBufferPool:
         return total
 
     def __contains__(self, key: tuple[str, int]) -> bool:
+        # Single-shard lookup under that shard's lock only; nests under
+        # nothing and holds nothing while returning.
         file_name, page_no = key
         index = self.shard_of(file_name, page_no)
         with self._locks[index]:

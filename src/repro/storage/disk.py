@@ -29,6 +29,20 @@ wall-clock time is actually spent.  With ``buffer_shards > 1`` the pool is
 a lock-striped :class:`~repro.storage.buffer.ShardedBufferPool`, so the
 decoded-array layer — accessed outside the disk lock — stripes its
 contention across shards too.
+
+Snapshot sinks (MVCC pre-images)
+--------------------------------
+The epoch layer (:mod:`repro.core.epoch`) registers a *snapshot sink* via
+:meth:`Disk.add_snapshot_sink`.  Before a page is overwritten in place
+(:meth:`write_page` on an existing page) or a file is deleted
+(:meth:`delete_file`), the disk hands each sink the page's *pre-image*
+bytes — still under the disk lock, so retention is atomic with the
+destructive write.  Appends never destroy data and are not retained.
+Pre-image capture is pure bookkeeping: it reads the backend directly and
+charges nothing, so it cannot perturb the simulated I/O trace, and
+snapshot readers replay those retained bytes through
+:meth:`read_run_at` — same lock, same charging rules as :meth:`read_run`
+for the pages that still come from the live file.
 """
 
 from __future__ import annotations
@@ -85,6 +99,7 @@ class Disk:
         self._stats = IOStats()
         self._head: tuple[str, int] | None = None
         self._lock = threading.RLock()
+        self._snapshot_sinks: list = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -126,6 +141,29 @@ class Disk:
             self._head = None
 
     # ------------------------------------------------------------------ #
+    # Snapshot sinks (MVCC pre-image retention)
+    # ------------------------------------------------------------------ #
+
+    def add_snapshot_sink(self, sink) -> None:
+        """Register an object whose ``retain(name, page_no, data)`` is
+        called — under the disk lock — with the pre-image of every page
+        about to be destroyed by an in-place overwrite or a file delete.
+        """
+        with self._lock:
+            self._snapshot_sinks.append(sink)
+
+    def _retain_pre_image(self, name: str, page_no: int) -> None:
+        """Hand the current bytes of one page to every snapshot sink.
+
+        Called under the disk lock, immediately before the page is
+        destroyed.  The backend read is uncharged: retention is snapshot
+        bookkeeping, not simulated I/O.
+        """
+        data = self._backend.read(name, page_no)
+        for sink in self._snapshot_sinks:
+            sink.retain(name, page_no, data)
+
+    # ------------------------------------------------------------------ #
     # File lifecycle
     # ------------------------------------------------------------------ #
 
@@ -136,6 +174,9 @@ class Disk:
     def delete_file(self, name: str) -> None:
         """Delete a file, dropping any cached pages it had."""
         with self._lock:
+            if self._snapshot_sinks:
+                for page_no in range(self._backend.num_pages(name)):
+                    self._retain_pre_image(name, page_no)
             self._backend.delete(name)
             self._buffer.invalidate_file(name)
             if self._head is not None and self._head[0] == name:
@@ -209,9 +250,56 @@ class Disk:
                 self._advance_head(name, start + count - 1)
             return pages
 
+    def read_run_at(self, name: str, start: int, count: int, lookup) -> list[bytes]:
+        """Read a run as of a pinned snapshot.
+
+        ``lookup(name, page_no)`` consults the snapshot's retained
+        pre-image overlay: when it returns bytes, the page was overwritten
+        or deleted after the snapshot was taken and the pre-image is used
+        verbatim; when it returns ``None`` the live page is read with
+        exactly :meth:`read_run`'s charging (cache hits recorded, one
+        positioning plus sequential transfers for the uncached pages).
+        Overlay-served pages are snapshot bookkeeping — free, uncharged
+        and not counted as cache hits — because the live I/O trace must
+        not be perturbed by a reader pinned to the past.  The whole run,
+        overlay consultation included, happens under the disk lock so a
+        concurrent overwrite can never interleave with it (no torn runs).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        with self._lock:
+            pages: list[bytes] = []
+            uncached = 0
+            first_uncached: int | None = None
+            for offset in range(count):
+                page_no = start + offset
+                retained = lookup(name, page_no)
+                if retained is not None:
+                    pages.append(retained)
+                    continue
+                cached = self._buffer.get(name, page_no)
+                if cached is not None:
+                    self._stats.record_cache_hit()
+                    pages.append(cached)
+                    continue
+                data = self._backend.read(name, page_no)
+                if first_uncached is None:
+                    first_uncached = page_no
+                uncached += 1
+                pages.append(data)
+                self._buffer.put(name, page_no, data)
+            if uncached:
+                assert first_uncached is not None
+                kind = self._classify(name, first_uncached)
+                self._charge_read(kind, uncached)
+                self._advance_head(name, start + count - 1)
+            return pages
+
     def write_page(self, name: str, page_no: int, data: bytes) -> None:
         """Overwrite one page in place (write-through to the backend)."""
         with self._lock:
+            if self._snapshot_sinks and page_no < self._backend.num_pages(name):
+                self._retain_pre_image(name, page_no)
             kind = self._classify(name, page_no)
             self._backend.write(name, page_no, data)
             self._charge_write(kind, 1)

@@ -397,12 +397,46 @@ class PagedFile(Generic[RecordT]):
             )
         return self._dtype
 
+    def read_group_array_at(self, run: StoredRun, lookup) -> np.ndarray:
+        """Snapshot variant of :meth:`read_group_array`.
+
+        Pages are fetched through :meth:`Disk.read_run_at`, so any page
+        overwritten or deleted since the snapshot was pinned is served
+        from the snapshot's retained pre-image (``lookup``) instead of the
+        live file.  Pre-image bytes are distinct objects from anything in
+        the buffer pool, so the identity-checked decoded layer decodes
+        them fresh and never caches them — a later live reader cannot be
+        served a stale decoding.  When the overlay has nothing for the
+        run, reads, charging and decoding are identical to
+        :meth:`read_group_array`.
+        """
+        dtype = self._require_dtype()
+        parts: list[np.ndarray] = []
+        for extent in run.extents:
+            pages = self._disk.read_run_at(self._name, extent.start, extent.count, lookup)
+            for offset, page_bytes in enumerate(pages):
+                decoded = self._decode_page_cached(extent.start + offset, page_bytes)
+                if len(decoded):
+                    parts.append(decoded)
+        if not parts:
+            records = np.empty(0, dtype=dtype)
+        elif len(parts) == 1:
+            records = parts[0]
+        else:
+            records = np.concatenate(parts)
+        if len(records) < run.n_records:
+            raise ValueError(
+                f"group in {self._name!r} is corrupt: expected {run.n_records} "
+                f"records, decoded {len(records)}"
+            )
+        return records[: run.n_records]
+
     def _decode_page_cached(self, page_no: int, page_bytes: bytes) -> np.ndarray:
         pool = self._disk.buffer_pool
-        decoded = pool.get_decoded(self._name, page_no)
+        decoded = pool.get_decoded(self._name, page_no, page_bytes)
         if decoded is None:
             decoded = decode_page_array(self._dtype, page_bytes)
-            pool.put_decoded(self._name, page_no, decoded)
+            pool.put_decoded(self._name, page_no, page_bytes, decoded)
         return decoded
 
     # ------------------------------------------------------------------ #

@@ -226,3 +226,42 @@ class TestPerfFormatting:
         assert "sustained 99.5 q/s" in text
         assert "p99 9.00 ms" in text
         assert "12 size / 7 deadline / 1 drain" in text
+
+    def test_concurrent_batches_phase_formats(self):
+        from repro.bench.perf import format_snapshot_summary
+
+        snapshot = self._snapshot(10.0)
+        snapshot["phases"]["concurrent_batches"] = {
+            "batch_size": 2,
+            "threads": 2,
+            "single_seconds": 0.10,
+            "concurrent_seconds": 0.13,
+            "overlap_ratio": 1.3,
+            "queries_per_second": 61.5,
+        }
+        text = format_snapshot_summary(snapshot)
+        assert "epoch overlap" in text
+        assert "1.30x" in text
+        assert "2.0 = serialized" in text
+
+
+class TestConcurrentBatchesMeasurement:
+    def test_measure_concurrent_batches_protocol(self, micro_suite, micro_workload):
+        """The shared timing protocol runs both passes and returns sane
+        walls (the acceptance *bar* lives in ``benchmarks/test_micro.py``;
+        here only the measurement machinery is exercised)."""
+        from repro.core.odyssey import SpaceOdyssey
+        from repro.bench.perf import measure_concurrent_batches, sequential_pass
+
+        workload = list(micro_workload)[:6]
+        engine = SpaceOdyssey(micro_suite.fork().catalog)
+        sequential_pass(engine, workload)  # converge
+        single, concurrent = measure_concurrent_batches(
+            engine, workload, batch_size=3, repeats=1, threads=2
+        )
+        assert single > 0
+        assert concurrent > 0
+        # Afterwards the engine has quiesced: no pinned epochs survive the
+        # measurement and the chain has collapsed to the current epoch.
+        assert engine.epochs.pinned_total() == 0
+        assert engine.epochs.chain_length() == 1

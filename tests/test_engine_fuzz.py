@@ -1,27 +1,32 @@
-"""Randomized differential fuzz harness: four engines, one truth.
+"""Randomized differential fuzz harness: five engines, one truth.
 
 For each seed, a pseudo-random generator derives an entire scenario —
 suite shape (dimension, dataset count and sizes, buffer pool budget and
 shard count), engine configuration (merge knobs, refinement threshold) and
 workload (length, combination sizes, range/ids distributions) — and the
-same query sequence is executed through all four execution paths:
+same query sequence is executed through all five execution paths:
 
 * **scalar** — the seed per-record reference (``columnar=False``, ``query``);
 * **columnar** — the vectorized sequential engine (``query``);
 * **batch** — ``query_batch`` in random-size chunks, serial executor;
-* **parallel** — ``query_batch`` in the same chunks, ``workers`` threads.
+* **parallel** — ``query_batch`` in the same chunks, ``workers`` threads;
+* **epoch** — ``query_batch(..., snapshot=True)`` in the same chunks:
+  the MVCC read path of :mod:`repro.core.epoch`, pinned to a published
+  epoch and read lock-free.
 
 Agreement is asserted at the strength each pair guarantees:
 
 * scalar vs columnar: byte-identical hits *in the same order*, identical
   reports including ``objects_examined``;
-* batch vs parallel: identical hits *in the same order*, identical
-  reports including ``objects_examined`` (both read the same
-  start-of-batch trees through the same deterministic plans);
+* batch vs parallel, batch vs epoch: identical hits *in the same order*,
+  identical reports including ``objects_examined`` (all three read the
+  same start-of-batch trees through the same deterministic plans — for
+  the epoch engine, in isolation the pinned snapshot IS start-of-batch
+  state and every pre-image overlay lookup misses);
 * columnar vs batch: identical hit *sets* per query (batching may reorder
   within a result list) and identical reports except ``objects_examined``
   (the one documented batching deviation);
-* all four: identical post-run adaptive state and byte-identical on-disk
+* all five: identical post-run adaptive state and byte-identical on-disk
   files.
 
 Every assertion message carries the scenario seed, so a failure is
@@ -99,7 +104,7 @@ def _random_scenario(rng: random.Random) -> dict:
 
 
 def run_fuzz_scenario(seed: int) -> None:
-    """Derive the scenario for ``seed``, run all four engines, assert agreement."""
+    """Derive the scenario for ``seed``, run all five engines, assert agreement."""
     rng = random.Random(seed)
     scenario = _random_scenario(rng)
     tag = f"fuzz seed {seed} ({scenario['dimension']}-D, {scenario['n_queries']} queries)"
@@ -133,6 +138,7 @@ def run_fuzz_scenario(seed: int) -> None:
     columnar = SpaceOdyssey(suite.fork().catalog, config)
     batch = SpaceOdyssey(suite.fork().catalog, config)
     parallel = SpaceOdyssey(suite.fork().catalog, config)
+    epoch = SpaceOdyssey(suite.fork().catalog, config)
 
     scalar_hits, scalar_reports = [], []
     columnar_hits, columnar_reports = [], []
@@ -144,6 +150,7 @@ def run_fuzz_scenario(seed: int) -> None:
 
     batch_hits, batch_reports = [], []
     parallel_hits, parallel_reports = [], []
+    epoch_hits, epoch_reports = [], []
     chunk_size = scenario["batch_size"]
     for start in range(0, len(workload), chunk_size):
         chunk = workload[start : start + chunk_size]
@@ -153,6 +160,11 @@ def run_fuzz_scenario(seed: int) -> None:
         parallel_result = parallel.query_batch(chunk, workers=scenario["workers"])
         parallel_hits.extend(parallel_result.results)
         parallel_reports.extend(parallel_result.reports)
+        epoch_result = epoch.query_batch(
+            chunk, snapshot=True, workers=scenario["workers"]
+        )
+        epoch_hits.extend(epoch_result.results)
+        epoch_reports.extend(epoch_result.reports)
 
     for index in range(len(workload)):
         assert scalar_hits[index] == columnar_hits[index], (
@@ -161,6 +173,10 @@ def run_fuzz_scenario(seed: int) -> None:
         )
         assert batch_hits[index] == parallel_hits[index], (
             f"{tag}: batch vs parallel hits differ (order included) "
+            f"for query {index}"
+        )
+        assert batch_hits[index] == epoch_hits[index], (
+            f"{tag}: batch vs epoch hits differ (order included) "
             f"for query {index}"
         )
         assert packed_hits(columnar, columnar_hits[index]) == packed_hits(
@@ -173,6 +189,9 @@ def run_fuzz_scenario(seed: int) -> None:
             assert getattr(batch_reports[index], field) == getattr(
                 parallel_reports[index], field
             ), f"{tag}: batch vs parallel report field {field!r} differs for query {index}"
+            assert getattr(batch_reports[index], field) == getattr(
+                epoch_reports[index], field
+            ), f"{tag}: batch vs epoch report field {field!r} differs for query {index}"
         for field in REPORT_FIELDS:
             assert getattr(columnar_reports[index], field) == getattr(
                 batch_reports[index], field
@@ -184,6 +203,7 @@ def run_fuzz_scenario(seed: int) -> None:
         ("columnar", columnar),
         ("batch", batch),
         ("parallel", parallel),
+        ("epoch", epoch),
     ):
         assert adaptive_state(engine) == reference_state, (
             f"{tag}: {name} adaptive state diverged from scalar"

@@ -1,0 +1,270 @@
+"""Concurrency battery for the epoch-snapshot (MVCC) read path.
+
+Three properties are exercised, deterministically and under real thread
+interleavings:
+
+* **stale but consistent** — a reader pinned to an old epoch sees exactly
+  the engine state captured at pin time: leaf runs decode to the same
+  records even after refinement overwrote their pages in place, and merge
+  segments stay readable even after eviction deleted their file (both are
+  served from retained pre-image pages);
+* **exactness under concurrency** — snapshot batches racing a
+  sequentially-adapting mutator return precisely the answers a pristine
+  engine gives for the same windows (query answers depend only on the
+  data and the window — adaptation changes how data is read, never what
+  matches);
+* **refcounted release** — once all pins are dropped and the engine
+  quiesces, the epoch chain collapses to the single current epoch and
+  every retained pre-image page is freed (no leaked snapshots).
+
+The scenario parameters are chosen so adaptation actually churns: small
+windows over coarse initial partitions force refinement splits (in-place
+page overwrites), and a tight merge space budget forces merge-file
+evictions (file deletions).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import generate_workload
+from repro.core.config import OdysseyConfig
+from repro.core.odyssey import SpaceOdyssey
+from repro.data.suite import build_benchmark_suite
+from repro.storage.cost_model import DiskModel
+
+from tests.test_batch_differential import packed_hits
+
+
+def _churny_suite(n_datasets: int = 2, objects: int = 2500):
+    """A suite whose workloads (below) trigger heavy refinement."""
+    return build_benchmark_suite(
+        n_datasets=n_datasets,
+        objects_per_dataset=objects,
+        seed=7,
+        dimension=2,
+        buffer_pages=16,
+        model=DiskModel(seek_time_s=1e-4),
+    )
+
+
+def _workload(suite, n_queries: int, seed: int = 3, datasets_per_query: int = 2):
+    return list(
+        generate_workload(
+            suite.universe,
+            suite.catalog.dataset_ids(),
+            n_queries,
+            seed=seed,
+            datasets_per_query=datasets_per_query,
+            volume_fraction=1e-3,
+        )
+    )
+
+
+CONFIG = OdysseyConfig(refinement_threshold=2.0, merge_threshold=1)
+
+
+class TestStaleButConsistent:
+    def test_pinned_epoch_serves_pre_adaptation_state(self):
+        """Leaf runs of a pinned epoch decode to the records captured at
+        pin time, even after refinement overwrote their pages in place."""
+        suite = _churny_suite()
+        workload = _workload(suite, 40)
+        engine = SpaceOdyssey(suite.fork().catalog, CONFIG)
+        engine.query(workload[0].box, workload[0].dataset_ids)  # init trees
+        manager = engine.epochs
+        pinned = manager.pin()
+        # Capture every pinned leaf run's records through the live path
+        # (nothing has mutated yet, so this IS the pinned content).
+        captured = {}
+        for dataset_id, snapshot in pinned.trees.items():
+            for leaf_index, run in enumerate(snapshot.runs):
+                if run is not None and run.n_records:
+                    captured[(dataset_id, leaf_index)] = snapshot.file.read_group_array(
+                        run
+                    ).copy()
+        # Adapt hard: refinement splits overwrite partition pages in place.
+        for query in workload[1:30]:
+            engine.query(query.box, query.dataset_ids)
+        versions = {d: t.version for d, t in engine.trees.items()}
+        assert any(v > 1 for v in versions.values()), (
+            f"scenario did not refine (versions {versions}); the test needs churn"
+        )
+        assert manager.retained_total() > 0, (
+            "refinement overwrote no pages? retention should have pre-images"
+        )
+        # The pinned snapshot must replay byte-identically via the overlay.
+        for (dataset_id, leaf_index), expected in captured.items():
+            snapshot = pinned.trees[dataset_id]
+            run = snapshot.runs[leaf_index]
+            got = snapshot.file.read_group_array_at(run, pinned.lookup_page)
+            assert np.array_equal(got, expected), (
+                f"dataset {dataset_id} leaf {leaf_index}: pinned read diverged "
+                f"from pin-time content"
+            )
+        manager.unpin(pinned)
+        assert manager.chain_length() == 1
+        assert manager.retained_total() == 0
+
+    def test_pin_survives_merge_file_eviction(self):
+        """Merge segments of a pinned epoch stay readable after eviction
+        deleted their merge file — the whole file is retained as
+        pre-images, so the pinned merge map is never torn."""
+        suite = _churny_suite(n_datasets=3)
+        workload = _workload(suite, 80, seed=5, datasets_per_query=2)
+        config = OdysseyConfig(
+            refinement_threshold=2.0,
+            merge_threshold=1,
+            min_merge_combination=2,
+            merge_partition_min_hits=1,
+            merge_only_converged=False,
+            merge_space_budget_pages=8,
+        )
+        engine = SpaceOdyssey(suite.fork().catalog, config)
+        manager = engine.epochs
+        pinned = None
+        evictions_at_pin = 0
+        for query in workload:
+            engine.query(query.box, query.dataset_ids)
+            if pinned is None and len(engine.merge_directory) > 0:
+                pinned = manager.pin()  # holds a merge file that will die
+                evictions_at_pin = engine.merger.evictions
+        assert pinned is not None, "scenario produced no merge files; needs churn"
+        assert engine.merger.evictions > evictions_at_pin, (
+            "scenario evicted no merge file after the pin; needs a tighter budget"
+        )
+        # Every merge segment of the pinned directory must decode, even for
+        # files the merger has since deleted from the live disk.
+        segments = 0
+        for info in pinned.directory.all_files():
+            file = pinned.merge_files[info.combination]
+            for per_dataset in info.entries.values():
+                for run in per_dataset.values():
+                    records = file.read_group_array_at(run, pinned.lookup_page)
+                    assert len(records) == run.n_records
+                    segments += 1
+        assert segments > 0, "pinned directory had no segments to verify"
+        manager.unpin(pinned)
+        assert manager.chain_length() == 1
+        assert manager.retained_total() == 0
+
+
+class TestConcurrentStress:
+    @pytest.mark.parametrize("readers", [2])
+    def test_snapshot_batches_racing_adaptation_stay_exact(self, readers):
+        """Reader threads running snapshot batches against an engine whose
+        adaptive state a mutator thread is churning get exact answers —
+        and afterwards the epoch chain is fully released."""
+        suite = _churny_suite()
+        mutator_load = _workload(suite, 60)
+        reader_load = _workload(suite, 24, seed=11)
+        truth_engine = SpaceOdyssey(suite.fork().catalog, CONFIG)
+        truth = [
+            packed_hits(
+                truth_engine, truth_engine.query(query.box, query.dataset_ids)
+            )
+            for query in reader_load
+        ]
+
+        engine = SpaceOdyssey(suite.fork().catalog, CONFIG)
+        engine.query(mutator_load[0].box, mutator_load[0].dataset_ids)
+        errors: list[BaseException] = []
+        start = threading.Barrier(readers + 1)
+
+        def mutate() -> None:
+            try:
+                start.wait()
+                for query in mutator_load[1:]:
+                    engine.query(query.box, query.dataset_ids)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def read(offset: int) -> None:
+            try:
+                start.wait()
+                for round_no in range(3):
+                    order = (
+                        reader_load[offset:] + reader_load[:offset]
+                        if round_no % 2
+                        else reader_load
+                    )
+                    indices = (
+                        list(range(offset, len(reader_load))) + list(range(offset))
+                        if round_no % 2
+                        else list(range(len(reader_load)))
+                    )
+                    for chunk_start in range(0, len(order), 6):
+                        chunk = order[chunk_start : chunk_start + 6]
+                        result = engine.query_batch(chunk, snapshot=True)
+                        for position, hits in enumerate(result.results):
+                            index = indices[chunk_start + position]
+                            assert packed_hits(engine, hits) == truth[index], (
+                                f"reader query {index} returned wrong hits "
+                                f"under concurrent adaptation"
+                            )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=mutate, daemon=True)] + [
+            threading.Thread(target=read, args=(r * 5,), daemon=True)
+            for r in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads), "stress hung"
+        assert not errors, f"concurrent stress raised: {errors!r}"
+
+        manager = engine.epochs
+        assert manager.pinned_total() == 0, "a pin leaked"
+        assert manager.chain_length() == 1, (
+            f"epoch chain not released: {manager.chain_length()} epochs alive"
+        )
+        assert manager.retained_total() == 0, "retained pre-image pages leaked"
+
+
+class TestRefcountDiscipline:
+    def test_unpinned_epoch_freed_pinned_epoch_kept(self):
+        suite = _churny_suite(objects=600)
+        workload = _workload(suite, 10)
+        engine = SpaceOdyssey(suite.fork().catalog, CONFIG)
+        engine.query(workload[0].box, workload[0].dataset_ids)
+        manager = engine.epochs
+        old = manager.pin()
+        for query in workload[1:5]:
+            engine.query(query.box, query.dataset_ids)
+        # The pinned epoch anchors the chain: everything from it forward
+        # stays alive, no matter how many epochs were published since.
+        assert manager.chain_length() >= 5
+        current = manager.pin()
+        manager.unpin(old)
+        assert manager.chain_length() == 1, "chain must collapse to current"
+        manager.unpin(current)
+        assert manager.chain_length() == 1
+        assert manager.pinned_total() == 0
+
+    def test_unbalanced_unpin_rejected(self):
+        suite = _churny_suite(objects=300)
+        engine = SpaceOdyssey(suite.fork().catalog, CONFIG)
+        manager = engine.epochs
+        epoch = manager.pin()
+        manager.unpin(epoch)
+        with pytest.raises(RuntimeError):
+            manager.unpin(epoch)
+
+    def test_snapshot_reads_disabled_strips_machinery(self):
+        suite = _churny_suite(objects=300)
+        workload = _workload(suite, 4)
+        config = OdysseyConfig(snapshot_reads=False)
+        engine = SpaceOdyssey(suite.fork().catalog, config)
+        assert engine.epochs is None
+        result = engine.query_batch(workload)  # classic path still works
+        assert len(result.results) == len(workload)
+        with pytest.raises(RuntimeError):
+            engine.query_batch(workload, snapshot=True)
+        with pytest.raises(RuntimeError):
+            engine.prepare_batch(workload)

@@ -14,7 +14,10 @@ These cover the invariants DESIGN.md commits to:
   zero-extent ones;
 * batched execution answers exactly like the brute-force oracle for
   random batches mixing combinations, duplicate queries and empty
-  (zero-extent) windows.
+  (zero-extent) windows;
+* the epoch (MVCC) layer's pin/unpin/publish discipline: a pinned epoch
+  is never freed, epoch ids grow strictly monotonically, and a freshly
+  published epoch's tree captures equal the live trees at capture time.
 """
 
 from __future__ import annotations
@@ -469,6 +472,64 @@ class TestBatchProperties:
             )
         assert actual == expected
         assert batched.summary() == sequential.summary()
+
+
+class TestEpochProperties:
+    """Invariants of the epoch-snapshot (MVCC) layer under random op mixes."""
+
+    @given(
+        object_lists(min_size=1, max_size=60),
+        st.lists(st.sampled_from(("query", "pin", "unpin")), min_size=1, max_size=30),
+        st.lists(boxes(), min_size=1, max_size=8),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_pin_unpin_publish_invariants(self, objects, ops, windows):
+        objects = _dedupe(objects)
+        disk = Disk(model=DiskModel(), buffer_pages=0)
+        dataset = Dataset.create(disk, 0, "prop_epoch", objects, UNIVERSE)
+        engine = SpaceOdyssey(
+            DatasetCatalog([dataset]),
+            OdysseyConfig(partitions_per_level=8, refinement_threshold=2.0),
+        )
+        manager = engine.epochs
+        pins = []
+        last_id = manager.current.epoch_id
+        window_index = 0
+        for op in ops:
+            if op == "query":
+                window = windows[window_index % len(windows)]
+                window_index += 1
+                engine.query(window, [0])
+                current = manager.current
+                # Epoch ids grow strictly monotonically across publishes.
+                assert current.epoch_id > last_id
+                last_id = current.epoch_id
+                # The fresh capture equals the live tree at capture time.
+                tree = engine.trees[0]
+                capture = current.trees[0]
+                assert capture.version == tree.version
+                assert capture.runs == tuple(
+                    leaf.run for leaf in tree.leaf_snapshot().leaves
+                )
+            elif op == "pin":
+                pins.append(manager.pin())
+            elif pins:
+                manager.unpin(pins.pop())
+            # A pinned epoch is never freed: every pin stays reachable on
+            # the chain, whatever got published or released around it.
+            alive = set()
+            epoch = manager._head
+            while epoch is not None:
+                alive.add(id(epoch))
+                epoch = epoch.next
+            for pin in pins:
+                assert id(pin) in alive, "a pinned epoch was pruned"
+            assert manager.pinned_total() == len(pins)
+        while pins:
+            manager.unpin(pins.pop())
+        assert manager.chain_length() == 1
+        assert manager.pinned_total() == 0
+        assert manager.retained_total() == 0
 
 
 def _dedupe(objects: list[SpatialObject]) -> list[SpatialObject]:

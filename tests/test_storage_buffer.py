@@ -87,23 +87,50 @@ class TestInvalidation:
 class TestDecodedLayer:
     def test_decoded_entry_requires_resident_byte_page(self):
         pool = BufferPool(4)
-        pool.put_decoded("f", 0, [1, 2, 3])  # no byte page: silently ignored
-        assert pool.get_decoded("f", 0) is None
+        page = b"bytes"
+        pool.put_decoded("f", 0, page, [1, 2, 3])  # no byte page: ignored
+        assert pool.get_decoded("f", 0, page) is None
         assert pool.decoded_misses == 1
-        pool.put("f", 0, b"bytes")
-        pool.put_decoded("f", 0, [1, 2, 3])
-        assert pool.get_decoded("f", 0) == [1, 2, 3]
+        pool.put("f", 0, page)
+        pool.put_decoded("f", 0, page, [1, 2, 3])
+        assert pool.get_decoded("f", 0, page) == [1, 2, 3]
         assert pool.decoded_hits == 1
+
+    def test_decoded_hit_requires_byte_identity(self):
+        """A decoding is only served for the exact bytes object it was
+        computed from — an equal copy (e.g. a snapshot overlay page) must
+        miss, so stale pool entries can never alias a decode."""
+        pool = BufferPool(4)
+        page = b"bytes"
+        pool.put("f", 0, page)
+        pool.put_decoded("f", 0, page, "decoded")
+        equal_copy = bytes(bytearray(page))
+        assert equal_copy == page and equal_copy is not page
+        assert pool.get_decoded("f", 0, equal_copy) is None
+        assert pool.get_decoded("f", 0, page) == "decoded"
+
+    def test_stale_put_decoded_is_ignored(self):
+        """put_decoded for bytes no longer resident must not resurrect a
+        stale decoding over the page's current contents."""
+        pool = BufferPool(4)
+        old = b"old!"
+        new = b"new!"
+        pool.put("f", 0, old)
+        pool.put("f", 0, new)  # old decode-source bytes are gone
+        pool.put_decoded("f", 0, old, "decoded-old")  # late: ignored
+        assert pool.get_decoded("f", 0, new) is None
+        assert pool.get_decoded("f", 0, old) is None
 
     def test_eviction_drops_decoded_array_with_its_byte_page(self):
         pool = BufferPool(2)
-        pool.put("f", 0, b"a")
-        pool.put_decoded("f", 0, "decoded-0")
+        page = b"a"
+        pool.put("f", 0, page)
+        pool.put_decoded("f", 0, page, "decoded-0")
         pool.put("f", 1, b"b")
         pool.put("f", 2, b"c")  # evicts page 0 and its decoded entry
         assert pool.evictions == 1
         assert pool.decoded_evictions == 1
-        assert pool.get_decoded("f", 0) is None
+        assert pool.get_decoded("f", 0, page) is None
 
     def test_eviction_of_undecoded_page_counts_no_decoded_eviction(self):
         pool = BufferPool(1)
@@ -114,32 +141,37 @@ class TestDecodedLayer:
 
     def test_overwrite_invalidates_stale_decoding(self):
         pool = BufferPool(4)
-        pool.put("f", 0, b"old")
-        pool.put_decoded("f", 0, "decoded-old")
-        pool.put("f", 0, b"new")  # refresh: the old decoding is stale
-        assert pool.get_decoded("f", 0) is None
+        old = b"old"
+        pool.put("f", 0, old)
+        pool.put_decoded("f", 0, old, "decoded-old")
+        new = b"new"
+        pool.put("f", 0, new)  # refresh: the old decoding is stale
+        assert pool.get_decoded("f", 0, new) is None
+        assert pool.get_decoded("f", 0, old) is None
 
     def test_invalidate_file_and_clear_drop_decoded_entries(self):
         pool = BufferPool(4)
+        page = b"a"
         for name in ("f", "g"):
-            pool.put(name, 0, b"a")
-            pool.put_decoded(name, 0, name)
+            pool.put(name, 0, page)
+            pool.put_decoded(name, 0, page, name)
         pool.invalidate_file("f")
-        assert pool.get_decoded("f", 0) is None
-        assert pool.get_decoded("g", 0) == "g"
+        assert pool.get_decoded("f", 0, page) is None
+        assert pool.get_decoded("g", 0, page) == "g"
         pool.clear()
-        assert pool.get_decoded("g", 0) is None
+        assert pool.get_decoded("g", 0, page) is None
 
     def test_invalidation_counts_decoded_drops(self):
         """Regression: file invalidation used to drop decoded entries
         without counting them, under-reporting decoded drops after merges
         delete files."""
         pool = BufferPool(8)
-        pool.put("merge", 0, b"a")
-        pool.put_decoded("merge", 0, "d0")
+        page_a, page_c = b"a", b"c"
+        pool.put("merge", 0, page_a)
+        pool.put_decoded("merge", 0, page_a, "d0")
         pool.put("merge", 1, b"b")  # byte page without a decoded entry
-        pool.put("other", 0, b"c")
-        pool.put_decoded("other", 0, "d1")
+        pool.put("other", 0, page_c)
+        pool.put_decoded("other", 0, page_c, "d1")
         pool.invalidate_file("merge")
         # Exactly the one decoded entry of the invalidated file is counted,
         # on its own counter — the eviction counter stays untouched.
@@ -151,17 +183,18 @@ class TestDecodedLayer:
         """Every decoded drop outside clear() is counted by exactly one of
         decoded_evictions / decoded_invalidations."""
         pool = BufferPool(2)
+        page_a, page_b = b"a", b"b"
         decoded_added = 0
-        pool.put("f", 0, b"a")
-        pool.put_decoded("f", 0, "d0")
+        pool.put("f", 0, page_a)
+        pool.put_decoded("f", 0, page_a, "d0")
         decoded_added += 1
-        pool.put("g", 0, b"b")
-        pool.put_decoded("g", 0, "d1")
+        pool.put("g", 0, page_b)
+        pool.put_decoded("g", 0, page_b, "d1")
         decoded_added += 1
         pool.put("f", 1, b"c")  # evicts ("f", 0) and its decoded entry
         pool.invalidate_file("g")  # drops ("g", 0) and its decoded entry
-        assert pool.get_decoded("f", 0) is None
-        assert pool.get_decoded("g", 0) is None
+        assert pool.get_decoded("f", 0, page_a) is None
+        assert pool.get_decoded("g", 0, page_b) is None
         dropped = pool.decoded_evictions + pool.decoded_invalidations
         assert dropped == decoded_added
         assert pool.decoded_evictions == 1
@@ -169,12 +202,13 @@ class TestDecodedLayer:
 
     def test_counter_accounting_snapshot_and_delta(self):
         pool = BufferPool(2)
-        pool.put("f", 0, b"a")
-        pool.put_decoded("f", 0, "d0")
+        page = b"a"
+        pool.put("f", 0, page)
+        pool.put_decoded("f", 0, page, "d0")
         pool.get("f", 0)
         pool.get("f", 1)  # miss
-        pool.get_decoded("f", 0)
-        pool.get_decoded("f", 1)  # miss
+        pool.get_decoded("f", 0, page)
+        pool.get_decoded("f", 1, page)  # miss
         pool.put("f", 1, b"b")
         pool.put("f", 2, b"c")  # evicts page 0 (+ decoded entry)
         snapshot = pool.counters()
@@ -219,10 +253,11 @@ class TestShardedBufferPool:
 
     def test_decoded_layer_per_shard(self):
         pool = ShardedBufferPool(16, n_shards=4)
-        pool.put("f", 5, b"bytes")
-        pool.put_decoded("f", 5, "decoded")
-        assert pool.get_decoded("f", 5) == "decoded"
-        assert pool.get_decoded("f", 6) is None
+        page = b"bytes"
+        pool.put("f", 5, page)
+        pool.put_decoded("f", 5, page, "decoded")
+        assert pool.get_decoded("f", 5, page) == "decoded"
+        assert pool.get_decoded("f", 6, page) is None
         assert pool.decoded_hits == 1 and pool.decoded_misses == 1
 
     def test_invalidate_file_covers_all_shards(self):
@@ -283,8 +318,9 @@ class TestShardedBufferPool:
     def test_invalidation_counter_aggregates_over_shards(self):
         pool = ShardedBufferPool(32, n_shards=4)
         for page in range(8):
-            pool.put("f", page, b"x")
-            pool.put_decoded("f", page, f"d{page}")
+            data = b"x" + bytes([page])
+            pool.put("f", page, data)
+            pool.put_decoded("f", page, data, f"d{page}")
         pool.invalidate_file("f")
         assert pool.decoded_invalidations == 8
         assert pool.counters().decoded_invalidations == 8
@@ -330,3 +366,48 @@ class TestConcurrentIntrospection:
             for worker in workers:
                 worker.join(timeout=30)
         assert not errors, f"concurrent introspection raised: {errors!r}"
+
+    def test_multi_shard_operations_take_locks_in_index_order(self):
+        """Regression: the documented lock ordering for multi-shard
+        operations (``invalidate_file``, ``clear``, ``__len__``,
+        ``__contains__``) is one shard lock at a time, in ascending shard
+        index order, never nested — so two of them can never deadlock
+        against each other.  Observe the acquisition order directly."""
+        pool = ShardedBufferPool(64, n_shards=4)
+        for page in range(16):
+            pool.put("f", page, b"x")
+        acquired: list[int] = []
+
+        class OrderRecordingLock:
+            def __init__(self, index: int, inner) -> None:
+                self._index = index
+                self._inner = inner
+
+            def __enter__(self):
+                acquired.append(self._index)
+                return self._inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self._inner.__exit__(*exc)
+
+            def acquire(self, *args, **kwargs):
+                acquired.append(self._index)
+                return self._inner.acquire(*args, **kwargs)
+
+            def release(self):
+                return self._inner.release()
+
+        pool._locks = [
+            OrderRecordingLock(index, lock) for index, lock in enumerate(pool._locks)
+        ]
+        for operation in (
+            lambda: len(pool),
+            lambda: ("f", 3) in pool,
+            lambda: pool.invalidate_file("f"),
+            lambda: pool.clear(),
+        ):
+            acquired.clear()
+            operation()
+            assert acquired == sorted(acquired), (
+                f"shard locks acquired out of index order: {acquired}"
+            )
