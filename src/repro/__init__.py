@@ -21,7 +21,13 @@ from repro.baselines import (
     OneForEach,
     STRRTree,
 )
-from repro.core import BatchResult, OdysseyConfig, QueryBatch, SpaceOdyssey
+from repro.core import (
+    BatchResult,
+    OdysseyConfig,
+    QueryBatch,
+    RecoveryError,
+    SpaceOdyssey,
+)
 from repro.data import (
     BenchmarkSuite,
     Dataset,
@@ -31,7 +37,7 @@ from repro.data import (
     build_benchmark_suite,
 )
 from repro.geometry import Box
-from repro.serve import QueryService, ServiceClosed, ServiceStats
+from repro.serve import QueryService, ServiceClosed, ServiceDegraded, ServiceStats
 from repro.storage import Disk, DiskModel
 from repro.workload import (
     ClusteredRangeGenerator,
@@ -66,8 +72,10 @@ __all__ = [
     "QueryBatch",
     "QueryService",
     "RangeQuery",
+    "RecoveryError",
     "STRRTree",
     "ServiceClosed",
+    "ServiceDegraded",
     "ServiceStats",
     "SpaceOdyssey",
     "SpatialObject",

@@ -34,6 +34,15 @@ One snapshot covers, per phase:
   judged on.  The offered rate defaults to a fixed utilization of the
   measured batch-mode capacity so the phase records latency under load
   rather than at saturation;
+* **fault_tolerance** (opt-in via ``--faults``) — the robustness phase:
+  the same workload once through a seeded
+  :class:`~repro.storage.faults.FaultInjectingBackend` behind the
+  :class:`~repro.storage.retry.RetryingBackend` (recording faults
+  injected, retries, corrupt reads detected and client-visible errors,
+  plus the wall overhead against a fault-free pass), then a crash /
+  recovery drill: a journaled engine is crashed mid-workload on a page
+  mutation, :meth:`SpaceOdyssey.recover` replays the committed prefix,
+  and the recovered engine resumes the remaining queries;
 
 plus the derived speedups (columnar vs scalar, batch vs scalar, best
 parallel worker count vs ``workers=1``) and page counts of every on-disk
@@ -44,11 +53,12 @@ from __future__ import annotations
 
 import json
 import platform
+import tempfile
 import threading
 import time
-from dataclasses import replace
+from dataclasses import asdict, replace
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -56,8 +66,16 @@ from repro.bench.runner import generate_workload
 from repro.bench.scales import ExperimentScale, get_scale
 from repro.core.config import OdysseyConfig
 from repro.core.odyssey import SpaceOdyssey
+from repro.data.dataset import Dataset, DatasetCatalog
+from repro.data.spatial_object import spatial_object_codec
 from repro.data.suite import BenchmarkSuite, build_benchmark_suite
 from repro.serve import run_open_loop
+from repro.storage.backend import StorageBackend
+from repro.storage.disk import Disk
+from repro.storage.errors import SimulatedCrash
+from repro.storage.faults import FaultInjectingBackend, FaultPlan
+from repro.storage.pagedfile import PagedFile
+from repro.storage.retry import RetryingBackend, RetryPolicy
 
 
 def default_snapshot_path(scale: str | ExperimentScale) -> Path:
@@ -191,6 +209,135 @@ def measure_serving(
     return phase
 
 
+def _fork_with_backend(
+    suite: BenchmarkSuite, wrap: Callable[[StorageBackend], StorageBackend]
+) -> BenchmarkSuite:
+    """An independent suite copy whose cloned backend is decorated by ``wrap``."""
+    disk = Disk(
+        backend=wrap(suite.disk.backend.clone()),
+        model=suite.disk.model,
+        buffer_pages=suite.disk.buffer_pool.capacity_pages,
+        buffer_shards=getattr(suite.disk.buffer_pool, "n_shards", 1),
+    )
+    datasets = [
+        Dataset(
+            dataset_id=dataset.dataset_id,
+            name=dataset.name,
+            universe=dataset.universe,
+            n_objects=dataset.n_objects,
+            disk=disk,
+            file=PagedFile(disk, dataset.file.name, spatial_object_codec(dataset.dimension)),
+        )
+        for dataset in suite.datasets
+    ]
+    return BenchmarkSuite(
+        disk=disk,
+        catalog=DatasetCatalog(datasets),
+        generator=suite.generator,
+        seed=suite.seed,
+    )
+
+
+def measure_fault_tolerance(
+    suite: BenchmarkSuite,
+    workload,
+    *,
+    seed: int = 23,
+    config: OdysseyConfig | None = None,
+    crash_after_mutations: int = 200,
+) -> dict[str, Any]:
+    """The robustness phase: a fault campaign and a crash/recovery drill.
+
+    The campaign runs the workload on a fork whose backend injects seeded
+    transient errors, corrupted reads and torn writes under the bounded
+    retry layer, and records the retry/corruption counters alongside the
+    wall overhead against a fault-free pass (``client_visible_errors`` is
+    the retry layer's exhaustion count — zero means every fault was
+    absorbed below the engine).  The drill journals a second fork, crashes
+    it on the ``crash_after_mutations``-th page mutation, times
+    :meth:`SpaceOdyssey.recover` replaying the committed prefix, and
+    resumes the remaining queries on the recovered engine.
+    """
+    config = config or OdysseyConfig()
+
+    # Fault-free reference pass of the same workload, for the overhead ratio.
+    clean_engine = SpaceOdyssey(suite.fork().catalog, config)
+    clean_seconds = timed(lambda: sequential_pass(clean_engine, workload))
+
+    plan = FaultPlan(
+        seed=seed,
+        read_error_rate=0.03,
+        write_error_rate=0.03,
+        corrupt_read_rate=0.02,
+        torn_write_rate=0.02,
+    )
+    policy = RetryPolicy(max_attempts=8, seed=seed)
+    faulty = _fork_with_backend(
+        suite,
+        lambda backend: RetryingBackend(
+            FaultInjectingBackend(backend, plan), policy, sleep=lambda _s: None
+        ),
+    )
+    engine = SpaceOdyssey(faulty.catalog, config)
+    campaign_seconds = timed(lambda: sequential_pass(engine, workload))
+    retrying = faulty.disk.backend
+    injected = retrying.inner.counters()
+    absorbed = retrying.counters()
+    campaign = {
+        "wall_seconds": campaign_seconds,
+        "clean_wall_seconds": clean_seconds,
+        "overhead_vs_clean": campaign_seconds / clean_seconds
+        if clean_seconds > 0
+        else None,
+        "faults_injected": asdict(injected),
+        "total_faults_injected": sum(asdict(injected).values()),
+        "retries": absorbed.retries,
+        "corrupt_reads_detected": absorbed.corrupt_reads_detected,
+        "client_visible_errors": absorbed.exhausted,
+        "max_attempts": policy.max_attempts,
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-recovery-") as tmp:
+        journal_path = Path(tmp) / "manifest.journal"
+        crash_suite = _fork_with_backend(
+            suite,
+            lambda backend: FaultInjectingBackend(
+                backend, FaultPlan(seed=seed, crash_after_mutations=crash_after_mutations)
+            ),
+        )
+        crashed = SpaceOdyssey(crash_suite.catalog, config, journal=journal_path)
+        crash_fired = False
+        try:
+            sequential_pass(crashed, workload)
+        except SimulatedCrash:
+            crash_fired = True
+        survivor = crash_suite.disk.backend
+        survivor.disarm()  # restart on healthy hardware
+
+        recovered_holder: list[SpaceOdyssey] = []
+        recovery_seconds = timed(
+            lambda: recovered_holder.append(
+                SpaceOdyssey.recover(journal_path, backend=survivor)
+            )
+        )
+        recovered = recovered_holder[0]
+        replayed = recovered.summary().queries_executed
+        resume_seconds = timed(
+            lambda: sequential_pass(recovered, workload[replayed:])
+        )
+        recovery = {
+            "crash_after_mutations": crash_after_mutations,
+            "crash_fired": crash_fired,
+            "queries_replayed": replayed,
+            "recovery_wall_seconds": recovery_seconds,
+            "queries_resumed": len(workload) - replayed,
+            "resume_wall_seconds": resume_seconds,
+            "final_queries_executed": recovered.summary().queries_executed,
+        }
+
+    return {"campaign": campaign, "recovery": recovery}
+
+
 def run_perf_snapshot(
     scale: str | ExperimentScale = "small",
     *,
@@ -210,6 +357,7 @@ def run_perf_snapshot(
     serve_max_batch: int | None = None,
     serve_max_delay_ms: float = 5.0,
     serve_workers: int | None = None,
+    faults: bool = False,
 ) -> dict[str, Any]:
     """Measure one perf snapshot and return it as a JSON-ready dict.
 
@@ -238,6 +386,11 @@ def run_perf_snapshot(
     when given, otherwise ``serve_utilization`` times the capacity the
     batch phase just measured — latency under load, not at saturation.
     ``serve_max_batch`` defaults to ``batch_size``.
+
+    ``faults=True`` adds the fault-tolerance phase (see
+    :func:`measure_fault_tolerance`): a seeded fault campaign under the
+    retry layer plus a crash/recovery drill, recording retry, corruption
+    and recovery counters in the snapshot.
     """
     scale = get_scale(scale)
     config = config or OdysseyConfig()
@@ -394,6 +547,11 @@ def run_perf_snapshot(
         phases["steady_serve"]["capacity_qps"] = capacity_qps
         phases["steady_serve"]["utilization_target"] = (
             serve_utilization if serve_rate_qps is None else None
+        )
+
+    if faults:
+        phases["fault_tolerance"] = measure_fault_tolerance(
+            suite, workload, seed=seed, config=config
         )
 
     summary = columnar_engine.summary()
@@ -627,6 +785,30 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
     if serve_phase is not None:
         lines.append("")
         lines.append(format_serve_phase(serve_phase))
+    fault_phase = phases.get("fault_tolerance")
+    if fault_phase is not None:
+        campaign = fault_phase["campaign"]
+        recovery = fault_phase["recovery"]
+        lines.append("")
+        lines.append(
+            "fault campaign: "
+            f"{campaign['total_faults_injected']} faults injected, "
+            f"{campaign['retries']} retries, "
+            f"{campaign['corrupt_reads_detected']} corrupt reads detected, "
+            f"{campaign['client_visible_errors']} client-visible errors "
+            f"(overhead {_ratio(campaign['overhead_vs_clean'])} vs fault-free)"
+        )
+        lines.append(
+            "recovery drill: "
+            + (
+                f"crashed on page mutation {recovery['crash_after_mutations']}, "
+                if recovery["crash_fired"]
+                else "no crash fired (workload too small), "
+            )
+            + f"replayed {recovery['queries_replayed']} committed queries in "
+            f"{recovery['recovery_wall_seconds']:.3f} s, "
+            f"resumed the remaining {recovery['queries_resumed']}"
+        )
     lines.append(
         f"pages: raw {snapshot['pages']['raw']}, "
         f"partitions {snapshot['pages']['partitions']}, "

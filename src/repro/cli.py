@@ -28,6 +28,11 @@ parallel-batch worker sweep and the open-loop serving phase)::
 
     python -m repro.cli bench --scale small --json BENCH_small.json --workers 1,2,4
 
+Same snapshot with the fault-tolerance phase (a seeded fault campaign
+under the retry layer plus a timed crash/recovery drill)::
+
+    python -m repro.cli bench --scale small --faults
+
 Benchmark the multi-tenant serving frontend alone — open-loop arrivals
 through the dynamic batcher, reporting sustained QPS and p50/p99 latency::
 
@@ -191,6 +196,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-serve",
         action="store_true",
         help="skip the open-loop serving phase of the snapshot",
+    )
+    bench.add_argument(
+        "--faults",
+        action="store_true",
+        help=(
+            "add the fault-tolerance phase: a seeded fault campaign under "
+            "the retry layer (faults injected / retries / corrupt reads "
+            "detected / client-visible errors) plus a timed crash/recovery "
+            "drill, recorded in the snapshot"
+        ),
     )
     bench.add_argument(
         "--serve-rate",
@@ -358,6 +373,7 @@ def main(argv: list[str] | None = None) -> int:
             serve=not args.no_serve,
             serve_rate_qps=args.serve_rate,
             serve_clients=args.serve_clients,
+            faults=args.faults,
         )
         print(perf.format_snapshot_summary(snapshot))
         path = perf.save_snapshot(

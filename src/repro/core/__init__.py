@@ -42,16 +42,19 @@ from repro.core.odyssey import SpaceOdyssey
 from repro.core.parallel import ParallelExecutor
 from repro.core.partition import PartitionNode, PartitionTree
 from repro.core.query_processor import QueryReport
+from repro.core.recovery import DurabilityLog, RecoveryError
 from repro.core.statistics import StatisticsCollector
 
 __all__ = [
     "BatchResult",
+    "DurabilityLog",
     "OdysseyConfig",
     "ParallelExecutor",
     "PartitionNode",
     "PartitionTree",
     "QueryBatch",
     "QueryReport",
+    "RecoveryError",
     "SpaceOdyssey",
     "StatisticsCollector",
 ]

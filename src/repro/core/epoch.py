@@ -503,6 +503,7 @@ class EpochExecutor(ParallelExecutor):
                 prepared.cache_deltas,
             )
             processor.publish_epoch()
+            processor.commit_durable((q.box, q.requested) for q in queries)
         return BatchResult(
             results=prepared.results,
             reports=reports,

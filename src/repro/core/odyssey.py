@@ -37,6 +37,7 @@ queries sequentially in order::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -51,7 +52,9 @@ from repro.core.statistics import StatisticsCollector
 from repro.data.dataset import DatasetCatalog
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
+from repro.storage.backend import StorageBackend
 from repro.storage.disk import Disk
+from repro.storage.journal import ManifestJournal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from repro.core.batch import BatchResult
@@ -83,11 +86,22 @@ class SpaceOdyssey(MultiDatasetIndex):
     config:
         Engine parameters; defaults to the paper's configuration
         (``rt = 4``, ``ppl = 64``, ``mt = 2``).
+    journal:
+        A path (or :class:`~repro.storage.journal.ManifestJournal`) to
+        journal a crash-consistent manifest to at every commit point,
+        enabling :meth:`recover` after a crash.  ``None`` (the default)
+        disables durability — nothing about execution changes.
     """
 
     name = "Odyssey"
 
-    def __init__(self, catalog: DatasetCatalog, config: OdysseyConfig | None = None) -> None:
+    def __init__(
+        self,
+        catalog: DatasetCatalog,
+        config: OdysseyConfig | None = None,
+        *,
+        journal: str | os.PathLike[str] | ManifestJournal | None = None,
+    ) -> None:
         self._catalog = catalog
         self._config = config or OdysseyConfig()
         # Validate ppl against the data dimensionality eagerly so a bad
@@ -114,6 +128,78 @@ class SpaceOdyssey(MultiDatasetIndex):
         )
         if not self._config.enable_merging:
             self.name = "Odyssey w/o merging"
+        if journal is not None:
+            if not isinstance(journal, ManifestJournal):
+                journal = ManifestJournal(journal)
+            existing = journal.read_last()
+            if existing is not None and existing.get("queries"):
+                raise ValueError(
+                    "journal already holds committed queries; use "
+                    "SpaceOdyssey.recover() to rebuild from it instead of "
+                    "attaching a fresh engine"
+                )
+            self.attach_journal(journal)
+            # Make the pre-first-query state durable immediately, so a
+            # crash before the first commit still recovers cleanly.
+            self._processor.durability.checkpoint()
+
+    # ------------------------------------------------------------------ #
+    # Durability & recovery
+    # ------------------------------------------------------------------ #
+
+    def attach_journal(
+        self, journal: ManifestJournal, *, committed: list | None = None
+    ) -> None:
+        """Start journaling a crash-consistent manifest at every commit point.
+
+        ``committed`` seeds the durable query log (used by :meth:`recover`
+        after replaying it); a fresh engine leaves it empty.
+        """
+        from repro.core.recovery import DurabilityLog
+
+        self._processor.attach_durability(
+            DurabilityLog(
+                journal,
+                catalog=self._catalog,
+                config=self._config,
+                committed=committed,
+            )
+        )
+
+    @property
+    def journal(self) -> ManifestJournal | None:
+        """The manifest journal, or ``None`` when durability is disabled."""
+        log = self._processor.durability
+        return None if log is None else log.journal
+
+    @classmethod
+    def recover(
+        cls,
+        journal_path: str | os.PathLike[str] | ManifestJournal,
+        *,
+        backend: StorageBackend | None = None,
+        disk: Disk | None = None,
+        compact_every: int = 64,
+        crash_hook=None,
+    ) -> "SpaceOdyssey":
+        """Rebuild an engine after a crash from its manifest journal.
+
+        Re-opens the raw dataset files (which survive any crash intact),
+        deletes every derived file (partition and merge files may be torn)
+        and deterministically replays the committed query log, yielding an
+        engine whose adaptive state, derived on-disk bytes and subsequent
+        answers are bit-identical to a never-crashed engine that executed
+        the same committed prefix.  See :mod:`repro.core.recovery`.
+        """
+        from repro.core.recovery import recover
+
+        return recover(
+            journal_path,
+            backend=backend,
+            disk=disk,
+            compact_every=compact_every,
+            crash_hook=crash_hook,
+        )
 
     # ------------------------------------------------------------------ #
     # MultiDatasetIndex interface
@@ -208,6 +294,7 @@ class SpaceOdyssey(MultiDatasetIndex):
         workers: int | None = None,
         max_pending: int | None = None,
         pipeline: bool | None = None,
+        **degradation,
     ) -> "QueryService":
         """Start a multi-tenant serving frontend over this engine.
 
@@ -230,6 +317,11 @@ class SpaceOdyssey(MultiDatasetIndex):
         defaults to on whenever ``OdysseyConfig.snapshot_reads`` is
         enabled; per-client results remain identical to sequential
         arrival-order replay either way.
+
+        Extra keyword arguments (``batch_retries``, ``retry_backoff_ms``,
+        ``breaker_threshold``, ``breaker_cooldown_ms``) tune the
+        service's graceful-degradation machinery; see
+        :class:`~repro.serve.QueryService`.
         """
         from repro.serve.service import QueryService
 
@@ -240,6 +332,7 @@ class SpaceOdyssey(MultiDatasetIndex):
             workers=workers,
             max_pending=max_pending,
             pipeline=pipeline,
+            **degradation,
         )
 
     # ------------------------------------------------------------------ #

@@ -68,6 +68,10 @@ class QueryReport:
     merge_new_partitions: int = 0
     evicted_merge_files: int = 0
     cache: BufferCounters | None = None
+    #: Transparent I/O retries absorbed while answering this query (only
+    #: attributed on the sequential path; excluded, like ``cache``, from
+    #: the batch-vs-sequential identity guarantee).
+    retries: int = 0
 
     @property
     def used_merge_file(self) -> bool:
@@ -121,6 +125,7 @@ class QueryProcessor:
         self._queries_executed = 0
         self._last_report: QueryReport | None = None
         self._gate = threading.RLock()
+        self._durability = None
         self._epochs = None
         if config.snapshot_reads:
             from repro.core.epoch import EpochManager
@@ -196,6 +201,29 @@ class QueryProcessor:
         self._last_report = report
 
     # ------------------------------------------------------------------ #
+    # Durability (crash-consistent manifest journaling)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def durability(self):
+        """The attached :class:`~repro.core.recovery.DurabilityLog` (or None)."""
+        return self._durability
+
+    def attach_durability(self, log) -> None:
+        """Journal a manifest at every commit point from now on."""
+        self._durability = log
+
+    def commit_durable(self, entries) -> None:
+        """Journal newly committed queries (``(box, dataset_ids)`` pairs).
+
+        Must be called with the gate held, *after* the state mutation and
+        epoch publish, so the journal order equals the commit order.  A
+        no-op without an attached durability log or with no entries.
+        """
+        if self._durability is not None:
+            self._durability.record(entries)
+
+    # ------------------------------------------------------------------ #
     # Epoch surface (snapshot reads)
     # ------------------------------------------------------------------ #
 
@@ -225,9 +253,11 @@ class QueryProcessor:
 
     def execute(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
         """Execute one range query over the requested datasets."""
+        ids = tuple(dataset_ids)
         with self._gate:
-            results = self._execute(box, dataset_ids)
+            results = self._execute(box, ids)
             self.publish_epoch()
+            self.commit_durable([(box, ids)])
             return results
 
     def _execute(self, box: Box, dataset_ids: Iterable[int]) -> list[SpatialObject]:
@@ -241,6 +271,7 @@ class QueryProcessor:
         )
         columnar = self._config.columnar
         cache_start = self._disk.buffer_pool.counters()
+        retries_start = self._disk.stats.retries
         self._statistics.tick()
 
         # 1. Lazy initialisation of partition trees (in-situ first touch).
@@ -370,6 +401,7 @@ class QueryProcessor:
         report.merge_new_partitions = merge_outcome.new_partitions
         report.evicted_merge_files = len(merge_outcome.evicted_combinations)
         report.cache = self._disk.buffer_pool.counters().delta_since(cache_start)
+        report.retries = self._disk.stats.retries - retries_start
 
         self.note_executed(report)
         return results
@@ -417,6 +449,7 @@ class QueryProcessor:
             else:
                 result = BatchExecutor(self).run(batch)
             self.publish_epoch()
+            self.commit_durable((q.box, q.requested) for q in batch.queries)
             return result
 
     def prepare_batch(self, queries, workers: int | None = None):

@@ -1,0 +1,294 @@
+"""Crash-consistent recovery by logical replay.
+
+Space Odyssey's adaptive state — partition trees, merge files, statistics
+— is entirely *derived*: it is a deterministic function of the immutable
+raw dataset files and the ordered sequence of executed queries.  The
+engines prove this continuously (the differential oracles in
+``tests/test_batch_differential.py`` and ``tests/test_engine_fuzz.py``
+show all five execution modes produce bit-identical adaptive state and
+on-disk bytes from the same query sequence).  Recovery exploits it: the
+durable manifest is not a physical redo log but a **logical query log**.
+
+At every commit point (each :meth:`QueryProcessor.execute`, and each
+batch's gated writer phase) the engine appends a manifest to a
+:class:`~repro.storage.journal.ManifestJournal`: the catalog and disk
+geometry, the configuration, and the full ordered list of committed
+queries.  The journal is checksummed and torn-tail tolerant, so a crash
+mid-commit simply re-exposes the previous commit point.
+
+:func:`recover` rebuilds an engine from the last intact manifest:
+
+1. re-open the raw dataset files (they are append-once and never touched
+   after creation, so they survive any crash intact);
+2. **delete every derived file** — partition files and merge files may be
+   torn by the crash, and all of them can be regenerated;
+3. construct a fresh engine and replay the committed queries in order
+   with journaling disabled.  Determinism makes the replayed state —
+   including on-disk partition and merge bytes — bit-identical to the
+   state of a never-crashed engine after the same committed prefix;
+4. re-attach the journal so subsequent commits extend the same log.
+
+A crash *during* recovery is harmless: replay writes nothing to the
+journal, so recovery can simply be run again.
+
+The physical cost is replaying the committed workload; compacting the
+log against a checkpoint of the derived files is future work recorded in
+ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.config import OdysseyConfig
+from repro.data.dataset import Dataset, DatasetCatalog, raw_file_name
+from repro.geometry.box import Box
+from repro.storage.backend import FileSystemBackend, StorageBackend
+from repro.storage.cost_model import DiskModel
+from repro.storage.disk import Disk
+from repro.storage.journal import ManifestJournal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.core.odyssey import SpaceOdyssey
+
+#: Manifest schema version (bumped on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+
+class RecoveryError(RuntimeError):
+    """Recovery cannot proceed (no intact manifest, missing raw files, ...)."""
+
+
+# ---------------------------------------------------------------------- #
+# Manifest encoding
+# ---------------------------------------------------------------------- #
+
+
+def _encode_box(box: Box) -> dict:
+    return {"lo": list(box.lo), "hi": list(box.hi)}
+
+
+def _decode_box(data: dict) -> Box:
+    return Box(tuple(data["lo"]), tuple(data["hi"]))
+
+
+def encode_query(box: Box, dataset_ids: Iterable[int]) -> dict:
+    """One committed query as a JSON-safe record."""
+    entry = _encode_box(box)
+    entry["ids"] = sorted(dataset_ids)
+    return entry
+
+
+def _encode_catalog(catalog: DatasetCatalog) -> dict:
+    disk = catalog.datasets()[0].disk
+    backend = disk.backend
+    # Unwrap fault-injection / retry decorators to describe the real store.
+    while hasattr(backend, "inner"):
+        backend = backend.inner
+    if isinstance(backend, FileSystemBackend):
+        store = {"kind": "filesystem", "root": str(backend.root)}
+    else:
+        store = {"kind": "memory"}
+    pool = disk.buffer_pool
+    return {
+        "datasets": [
+            {
+                "id": dataset.dataset_id,
+                "name": dataset.name,
+                "universe": _encode_box(dataset.universe),
+            }
+            for dataset in catalog.datasets()
+        ],
+        "store": store,
+        "model": asdict(disk.model),
+        "buffer_pages": pool.capacity_pages,
+        "buffer_shards": getattr(pool, "n_shards", 1),
+    }
+
+
+def build_manifest(
+    catalog: DatasetCatalog, config: OdysseyConfig, queries: list[dict]
+) -> dict:
+    """The complete manifest for the given committed query log."""
+    return {
+        "version": MANIFEST_VERSION,
+        "config": asdict(config),
+        "catalog": _encode_catalog(catalog),
+        "queries": queries,
+    }
+
+
+class DurabilityLog:
+    """Tracks the committed query log and journals the manifest.
+
+    Attached to a :class:`~repro.core.query_processor.QueryProcessor`;
+    :meth:`record` must be called with the processor's gate held so the
+    journal order equals the commit order.
+    """
+
+    def __init__(
+        self,
+        journal: ManifestJournal,
+        *,
+        catalog: DatasetCatalog,
+        config: OdysseyConfig,
+        committed: list[dict] | None = None,
+    ) -> None:
+        self._journal = journal
+        self._catalog = catalog
+        self._config = config
+        self._committed: list[dict] = list(committed or [])
+
+    @property
+    def journal(self) -> ManifestJournal:
+        """The underlying journal."""
+        return self._journal
+
+    @property
+    def committed_queries(self) -> int:
+        """How many queries the durable log covers."""
+        return len(self._committed)
+
+    def manifest(self) -> dict:
+        """The manifest describing the current committed state."""
+        return build_manifest(self._catalog, self._config, list(self._committed))
+
+    def record(self, entries: Iterable[tuple[Box, Iterable[int]]]) -> None:
+        """Extend the log with newly committed queries and journal it.
+
+        ``entries`` may be empty (e.g. an empty batch), in which case the
+        state did not change and nothing is written.
+        """
+        appended = [encode_query(box, ids) for box, ids in entries]
+        if not appended:
+            return
+        self._committed.extend(appended)
+        self._journal.commit(self.manifest())
+
+    def checkpoint(self) -> None:
+        """Journal the current state now (used for the initial commit)."""
+        self._journal.commit(self.manifest())
+
+
+# ---------------------------------------------------------------------- #
+# Recovery
+# ---------------------------------------------------------------------- #
+
+
+def _sanitized(name: str) -> str:
+    # Mirror of FileSystemBackend._path's flattening, so raw files can be
+    # recognised in that backend's listing too.
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in name)
+
+
+def _rebuild_disk(manifest_catalog: dict, backend: StorageBackend | None) -> Disk:
+    model = DiskModel(**manifest_catalog["model"])
+    if backend is None:
+        store = manifest_catalog["store"]
+        if store["kind"] != "filesystem":
+            raise RecoveryError(
+                "the crashed engine ran on an in-memory backend; pass the "
+                "surviving backend (or a Disk) to recover()"
+            )
+        backend = FileSystemBackend(store["root"], page_size=model.page_size)
+    return Disk(
+        backend=backend,
+        model=model,
+        buffer_pages=manifest_catalog["buffer_pages"],
+        buffer_shards=manifest_catalog["buffer_shards"],
+    )
+
+
+def _wipe_derived_files(disk: Disk, raw_names: set[str]) -> list[str]:
+    keep = raw_names | {_sanitized(name) for name in raw_names}
+    dropped = []
+    for name in disk.list_files():
+        if name not in keep:
+            disk.delete_file(name)
+            dropped.append(name)
+    return dropped
+
+
+def recover(
+    journal_path: str | os.PathLike[str] | ManifestJournal,
+    *,
+    backend: StorageBackend | None = None,
+    disk: Disk | None = None,
+    compact_every: int = 64,
+    crash_hook=None,
+) -> "SpaceOdyssey":
+    """Rebuild an engine from the last intact manifest in the journal.
+
+    Parameters
+    ----------
+    journal_path:
+        The journal file (or an already-open :class:`ManifestJournal`).
+    backend / disk:
+        Where the page bytes survived.  For a filesystem-backed engine
+        both may be omitted — the manifest records the root directory.
+        For an in-memory engine the surviving backend object must be
+        passed (typically the fault injector's inner backend, or the
+        injector itself disarmed).
+    compact_every / crash_hook:
+        Forwarded to the re-attached journal when ``journal_path`` is a
+        path.
+
+    Returns an engine whose adaptive state, on-disk derived bytes and
+    subsequent answers are bit-identical to an engine that executed the
+    committed query prefix without crashing.  Raises
+    :class:`RecoveryError` if the journal holds no intact manifest or a
+    raw dataset file is missing.
+    """
+    from repro.core.odyssey import SpaceOdyssey
+
+    if isinstance(journal_path, ManifestJournal):
+        journal = journal_path
+    else:
+        journal = ManifestJournal(
+            journal_path, compact_every=compact_every, crash_hook=crash_hook
+        )
+    manifest = journal.read_last()
+    if manifest is None:
+        raise RecoveryError(
+            f"journal {journal.path} holds no intact manifest; nothing was "
+            "ever durably committed, so rebuild the engine from scratch"
+        )
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise RecoveryError(
+            f"unsupported manifest version {manifest.get('version')!r}"
+        )
+
+    # Heal the journal before re-using it: a torn tail left by the crash
+    # would swallow every post-recovery append (records() stops at the
+    # first torn record).  Atomically rewriting the file down to the
+    # manifest being recovered from truncates the tail; a crash during
+    # the rewrite leaves either the old or the new journal, both of which
+    # expose this same manifest.
+    journal.rewrite(manifest)
+
+    config = OdysseyConfig(**manifest["config"])
+    manifest_catalog = manifest["catalog"]
+    if disk is None:
+        disk = _rebuild_disk(manifest_catalog, backend)
+
+    specs = manifest_catalog["datasets"]
+    raw_names = {raw_file_name(spec["name"]) for spec in specs}
+    for name in raw_names:
+        if not disk.file_exists(name):
+            raise RecoveryError(f"raw dataset file {name!r} is missing")
+    _wipe_derived_files(disk, raw_names)
+
+    datasets = [
+        Dataset.open(
+            disk, spec["id"], spec["name"], universe=_decode_box(spec["universe"])
+        )
+        for spec in specs
+    ]
+    engine = SpaceOdyssey(DatasetCatalog(datasets), config)
+    for entry in manifest["queries"]:
+        engine.query(_decode_box(entry), entry["ids"])
+
+    engine.attach_journal(journal, committed=list(manifest["queries"]))
+    return engine

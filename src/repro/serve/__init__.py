@@ -18,6 +18,7 @@ from repro.serve.loadgen import LatencySummary, OpenLoopReport, run_open_loop
 from repro.serve.service import (
     QueryService,
     ServiceClosed,
+    ServiceDegraded,
     ServiceStats,
     Submission,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "OpenLoopReport",
     "QueryService",
     "ServiceClosed",
+    "ServiceDegraded",
     "ServiceStats",
     "Submission",
     "run_open_loop",

@@ -41,8 +41,8 @@ state equals that sequential run's.  ``tests/test_serve_differential.py``
 enforces this with the same packed-bytes/adaptive-state/on-disk oracle as
 the batch differential suite.
 
-Failure isolation
------------------
+Failure isolation & graceful degradation
+----------------------------------------
 A batch whose execution raises (e.g. one query requests an unknown
 dataset id — the batch executor validates ids before doing any work)
 falls back to executing its queries one by one through
@@ -50,6 +50,27 @@ falls back to executing its queries one by one through
 queries' futures receive the exception, every other query in the batch
 still completes with its exact answer, and the arrival-order schedule is
 preserved.
+
+Under storage faults the service degrades gracefully instead of hanging
+or crash-looping:
+
+* **Transient errors retry with backoff.**  A *read-only* phase (the
+  pipelined ``prepare_batch``) that fails with a transient storage error
+  (:func:`repro.storage.errors.is_transient`) is retried in place up to
+  ``batch_retries`` times with bounded exponential backoff.  In the
+  sequential fallback each individual query gets the same treatment.
+  (The backend usually absorbs transient faults itself via
+  :class:`~repro.storage.retry.RetryingBackend`; service-level retry is
+  the second line of defence once the backend's budget is exhausted.)
+* **A circuit breaker sheds load.**  ``breaker_threshold`` consecutive
+  batches ending with failed queries open the breaker: subsequent
+  batches are failed *immediately* with :class:`ServiceDegraded` — a
+  typed error, never a hang — without touching the engine, until
+  ``breaker_cooldown_ms`` elapses.  The next batch is then let through
+  (half-open); success closes the breaker.
+* **Health is observable.**  :attr:`QueryService.healthy` reports the
+  breaker state and :class:`ServiceStats` carries the fault counters
+  (``retries``, ``degraded``, ``breaker_opens``).
 
 Shutdown semantics
 ------------------
@@ -75,10 +96,21 @@ from typing import Iterable
 from repro.core.odyssey import SpaceOdyssey
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
+from repro.storage.errors import is_transient
 
 
 class ServiceClosed(RuntimeError):
     """Submitting to a closed service, or a pending query dropped by abort."""
+
+
+class ServiceDegraded(RuntimeError):
+    """The circuit breaker is open: the query was shed, not executed.
+
+    Raised *to the submission's future* (a typed, immediate outcome —
+    never a hang) while the service rides out a run of storage failures.
+    The breaker closes again after ``breaker_cooldown_ms`` once a batch
+    succeeds.
+    """
 
 
 #: Queue sentinel that tells the dispatcher to exit after the current drain.
@@ -99,6 +131,12 @@ class ServiceStats:
     zero).  ``size_flushes + deadline_flushes + drain_flushes ==
     batches``.  ``fallbacks`` counts batches that raised and were replayed
     query-by-query for failure isolation.
+
+    The fault counters describe graceful degradation: ``retries`` counts
+    service-level retries of transiently-failed work (backoff included),
+    ``degraded`` counts queries shed with :class:`ServiceDegraded` while
+    the circuit breaker was open (each is also counted in ``failed``),
+    and ``breaker_opens`` counts open transitions.
     """
 
     submitted: int = 0
@@ -112,6 +150,9 @@ class ServiceStats:
     drain_flushes: int = 0
     fallbacks: int = 0
     max_batch_size: int = 0
+    retries: int = 0
+    degraded: int = 0
+    breaker_opens: int = 0
 
     @property
     def mean_batch_size(self) -> float | None:
@@ -184,6 +225,24 @@ class QueryService:
         the engine has ``snapshot_reads``; ``True`` requires it
         (``ValueError`` otherwise); ``False`` forces the classic
         dispatcher.
+    batch_retries:
+        How many times transiently-failed work is retried at the service
+        level (read-only prepare phases, and each query of a sequential
+        fallback) before the failure is surfaced.  ``0`` disables
+        service-level retry.
+    retry_backoff_ms:
+        Base delay of the exponential backoff between service-level
+        retries (doubled per attempt, capped at 100 ms).
+    breaker_threshold:
+        Open the circuit breaker after this many *consecutive* batches
+        ended with failed queries; while open, queries are shed with
+        :class:`ServiceDegraded`.  ``None`` disables the breaker.
+    breaker_cooldown_ms:
+        How long the breaker sheds load before letting a probe batch
+        through (half-open).
+    sleep:
+        Injectable sleep function (tests use a recording stub so retry
+        backoff does not slow the suite).
     """
 
     def __init__(
@@ -195,6 +254,11 @@ class QueryService:
         workers: int | None = None,
         max_pending: int | None = None,
         pipeline: bool | None = None,
+        batch_retries: int = 2,
+        retry_backoff_ms: float = 1.0,
+        breaker_threshold: int | None = 5,
+        breaker_cooldown_ms: float = 100.0,
+        sleep=time.sleep,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -204,6 +268,14 @@ class QueryService:
             raise ValueError("workers must be >= 1")
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None)")
+        if batch_retries < 0:
+            raise ValueError("batch_retries must be non-negative")
+        if retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be non-negative")
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1 (or None)")
+        if breaker_cooldown_ms < 0:
+            raise ValueError("breaker_cooldown_ms must be non-negative")
         if pipeline is None:
             pipeline = odyssey.config.snapshot_reads
         elif pipeline and not odyssey.config.snapshot_reads:
@@ -215,6 +287,16 @@ class QueryService:
         self._max_batch = max_batch
         self._max_delay_s = max_delay_ms / 1000.0
         self._workers = workers
+        self._batch_retries = batch_retries
+        self._retry_backoff_s = retry_backoff_ms / 1000.0
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_ms / 1000.0
+        self._sleep = sleep
+        # Breaker state: touched only by the executing thread (dispatcher
+        # or writer) except for the read-only `healthy` property, which
+        # tolerates a stale glimpse.
+        self._consecutive_failed_batches = 0
+        self._breaker_open_until: float | None = None
         self._queue: Queue = Queue(maxsize=max_pending or 0)
         # One lock orders arrivals: sequence numbers and queue insertion
         # happen atomically, so queue order IS arrival order.
@@ -298,6 +380,11 @@ class QueryService:
         """Whether dispatch is pipelined over the epoch-snapshot engine."""
         return self._pipeline
 
+    @property
+    def healthy(self) -> bool:
+        """``False`` while the circuit breaker is shedding load."""
+        return self._breaker_open_until is None
+
     def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
         """Stop accepting submissions and shut the dispatcher down.
 
@@ -379,19 +466,27 @@ class QueryService:
             self._note_batch(batch, reason, fallbacks=0)
             return
         if self._pipeline:
-            try:
-                prepared = self._odyssey.prepare_batch(
-                    [(s.box, s.dataset_ids) for s in batch], workers=self._workers
-                )
-            except BaseException:
-                # A failed read phase (e.g. an unknown dataset id — ids
-                # are validated before any work) leaves no state behind;
-                # the writer replays the batch sequentially for failure
-                # isolation, keeping arrival order.
-                prepared = None
+            prepared = None
+            if not self._breaker_is_open():
+                try:
+                    prepared = self._retry_transient(
+                        lambda: self._odyssey.prepare_batch(
+                            [(s.box, s.dataset_ids) for s in batch],
+                            workers=self._workers,
+                        )
+                    )
+                except BaseException:
+                    # A failed read phase (e.g. an unknown dataset id —
+                    # ids are validated before any work) leaves no state
+                    # behind; the writer replays the batch sequentially
+                    # for failure isolation, keeping arrival order.
+                    prepared = None
             self._write_queue.put((batch, reason, prepared))
             return
+        if self._shed_if_degraded(batch, reason):
+            return
         fallbacks = 0
+        failed = 0
         try:
             result = self._odyssey.query_batch(
                 [(s.box, s.dataset_ids) for s in batch], workers=self._workers
@@ -402,10 +497,11 @@ class QueryService:
             # batch executor validates every dataset id before doing
             # any work, so a validation failure left no partial state.
             fallbacks = 1
-            self._replay_sequentially(batch)
+            failed = self._replay_sequentially(batch)
         else:
             for submission, hits in zip(batch, result.results):
                 self._resolve(submission, hits=hits)
+        self._breaker_record(failed)
         self._note_batch(batch, reason, fallbacks=fallbacks)
 
     def _write_loop(self) -> None:
@@ -415,30 +511,102 @@ class QueryService:
             if item is _SHUTDOWN:
                 break
             batch, reason, prepared = item
+            if self._shed_if_degraded(batch, reason):
+                continue
             fallbacks = 0
+            failed = 0
             if prepared is None:
                 fallbacks = 1
-                self._replay_sequentially(batch)
+                failed = self._replay_sequentially(batch)
             else:
                 try:
                     result = self._odyssey.commit_batch(prepared)
                 except BaseException:
                     fallbacks = 1
-                    self._replay_sequentially(batch)
+                    failed = self._replay_sequentially(batch)
                 else:
                     for submission, hits in zip(batch, result.results):
                         self._resolve(submission, hits=hits)
+            self._breaker_record(failed)
             self._note_batch(batch, reason, fallbacks=fallbacks)
 
-    def _replay_sequentially(self, batch: list[Submission]) -> None:
-        """The failure-isolation fallback: one engine call per submission."""
+    def _replay_sequentially(self, batch: list[Submission]) -> int:
+        """The failure-isolation fallback: one engine call per submission.
+
+        Each query that fails transiently is retried with backoff before
+        its error is surfaced.  Returns how many queries failed.
+        """
+        failed = 0
         for submission in batch:
             try:
-                hits = self._odyssey.query(submission.box, submission.dataset_ids)
+                hits = self._retry_transient(
+                    lambda: self._odyssey.query(
+                        submission.box, submission.dataset_ids
+                    )
+                )
             except BaseException as exc:
+                failed += 1
                 self._resolve(submission, error=exc)
             else:
                 self._resolve(submission, hits=hits)
+        return failed
+
+    # ------------------------------------------------------------------ #
+    # Graceful degradation
+    # ------------------------------------------------------------------ #
+
+    def _retry_transient(self, call):
+        """Run ``call``, retrying transient storage errors with backoff."""
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except BaseException as exc:
+                if attempt >= self._batch_retries or not is_transient(exc):
+                    raise
+                with self._stats_lock:
+                    self._stats = _bump(self._stats, retries=1)
+                self._sleep(min(self._retry_backoff_s * (2**attempt), 0.1))
+                attempt += 1
+
+    def _breaker_is_open(self) -> bool:
+        """Whether the breaker currently sheds load (handles half-open)."""
+        if self._breaker_open_until is None:
+            return False
+        if time.monotonic() >= self._breaker_open_until:
+            # Half-open: let the next batch probe the engine.  A success
+            # closes the breaker in _breaker_record; a failure re-opens.
+            return False
+        return True
+
+    def _shed_if_degraded(self, batch: list[Submission], reason: str) -> bool:
+        """Fail the whole batch with ServiceDegraded if the breaker is open."""
+        if not self._breaker_is_open():
+            return False
+        error = ServiceDegraded(
+            "circuit breaker open after repeated storage failures; "
+            "query shed without execution"
+        )
+        for submission in batch:
+            self._resolve(submission, error=error)
+        with self._stats_lock:
+            self._stats = _bump(self._stats, degraded=len(batch))
+        self._note_batch(batch, reason, fallbacks=0)
+        return True
+
+    def _breaker_record(self, failed_queries: int) -> None:
+        """Track consecutive failed batches; open/close the breaker."""
+        if self._breaker_threshold is None:
+            return
+        if failed_queries == 0:
+            self._consecutive_failed_batches = 0
+            self._breaker_open_until = None
+            return
+        self._consecutive_failed_batches += 1
+        if self._consecutive_failed_batches >= self._breaker_threshold:
+            self._breaker_open_until = time.monotonic() + self._breaker_cooldown_s
+            with self._stats_lock:
+                self._stats = _bump(self._stats, breaker_opens=1)
 
     def _note_batch(self, batch: list[Submission], reason: str, fallbacks: int) -> None:
         with self._stats_lock:

@@ -22,27 +22,55 @@ substrate that the rest of the library is built on:
 
 from repro.storage.backend import FileSystemBackend, InMemoryBackend, StorageBackend
 from repro.storage.buffer import BufferCounters, BufferPool, ShardedBufferPool
-from repro.storage.codec import FixedRecordCodec, RecordCodec
+from repro.storage.codec import FixedRecordCodec, RecordCodec, page_intact, verify_page
 from repro.storage.cost_model import AccessKind, DiskModel, IOStats
 from repro.storage.disk import Disk
+from repro.storage.errors import (
+    CorruptPageError,
+    MissingFileError,
+    MissingPageError,
+    SimulatedCrash,
+    StorageError,
+    TransientIOError,
+    is_transient,
+)
+from repro.storage.faults import FaultCounters, FaultInjectingBackend, FaultPlan
+from repro.storage.journal import ManifestJournal
 from repro.storage.page import PAGE_SIZE
 from repro.storage.pagedfile import PagedFile, PageExtent, StoredRun
+from repro.storage.retry import RetryCounters, RetryingBackend, RetryPolicy
 
 __all__ = [
     "PAGE_SIZE",
     "AccessKind",
     "BufferCounters",
     "BufferPool",
+    "CorruptPageError",
     "Disk",
     "DiskModel",
+    "FaultCounters",
+    "FaultInjectingBackend",
+    "FaultPlan",
     "FileSystemBackend",
     "FixedRecordCodec",
     "IOStats",
     "InMemoryBackend",
+    "ManifestJournal",
+    "MissingFileError",
+    "MissingPageError",
     "PageExtent",
     "PagedFile",
     "RecordCodec",
+    "RetryCounters",
+    "RetryPolicy",
+    "RetryingBackend",
     "ShardedBufferPool",
+    "SimulatedCrash",
     "StorageBackend",
+    "StorageError",
     "StoredRun",
+    "TransientIOError",
+    "is_transient",
+    "page_intact",
+    "verify_page",
 ]

@@ -10,6 +10,16 @@ costs, caching or records.  Two implementations are provided:
 * :class:`FileSystemBackend` — pages live in real files under a directory,
   one file per logical file.  Useful for inspecting on-disk layouts produced
   by the indexes and for running the library against real storage.
+
+Failures are raised through the taxonomy of :mod:`repro.storage.errors`
+(all subclasses of the seed-era :class:`StorageError`): a missing file is
+:class:`MissingFileError`, a page number outside the file is
+:class:`MissingPageError`, a trailing short page (a torn write, or a file
+truncated out from under us) is :class:`CorruptPageError`, and host
+``OSError`` s in :class:`FileSystemBackend` surface as
+:class:`TransientIOError` so retry layers know they are worth retrying.
+Oversized page data stays a plain :class:`StorageError`: it is a caller
+bug, not an I/O fault.
 """
 
 from __future__ import annotations
@@ -18,11 +28,25 @@ import os
 from abc import ABC, abstractmethod
 from pathlib import Path
 
+from repro.storage.errors import (
+    CorruptPageError,
+    MissingFileError,
+    MissingPageError,
+    StorageError,
+    TransientIOError,
+)
 from repro.storage.page import PAGE_SIZE
 
-
-class StorageError(Exception):
-    """Raised for invalid storage operations (missing files, bad offsets)."""
+__all__ = [
+    "CorruptPageError",
+    "FileSystemBackend",
+    "InMemoryBackend",
+    "MissingFileError",
+    "MissingPageError",
+    "StorageBackend",
+    "StorageError",
+    "TransientIOError",
+]
 
 
 class StorageBackend(ABC):
@@ -111,7 +135,7 @@ class InMemoryBackend(StorageBackend):
         try:
             del self._files[name]
         except KeyError:
-            raise StorageError(f"no such file: {name!r}") from None
+            raise MissingFileError(f"no such file: {name!r}") from None
 
     def exists(self, name: str) -> bool:
         return name in self._files
@@ -147,12 +171,12 @@ class InMemoryBackend(StorageBackend):
         try:
             return self._files[name]
         except KeyError:
-            raise StorageError(f"no such file: {name!r}") from None
+            raise MissingFileError(f"no such file: {name!r}") from None
 
     @staticmethod
     def _check_page_no(name: str, page_no: int, total: int) -> None:
         if not 0 <= page_no < total:
-            raise StorageError(
+            raise MissingPageError(
                 f"page {page_no} out of range for {name!r} with {total} pages"
             )
 
@@ -169,6 +193,11 @@ class FileSystemBackend(StorageBackend):
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
 
+    @property
+    def root(self) -> Path:
+        """The directory the page files live under."""
+        return self._root
+
     def _path(self, name: str) -> Path:
         safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in name)
         return self._root / f"{safe}.pages"
@@ -182,7 +211,7 @@ class FileSystemBackend(StorageBackend):
     def delete(self, name: str) -> None:
         path = self._path(name)
         if not path.exists():
-            raise StorageError(f"no such file: {name!r}")
+            raise MissingFileError(f"no such file: {name!r}")
         path.unlink()
 
     def exists(self, name: str) -> bool:
@@ -207,20 +236,23 @@ class FileSystemBackend(StorageBackend):
     def read(self, name: str, page_no: int) -> bytes:
         path = self._require(name)
         if page_no < 0:
-            raise StorageError(f"page {page_no} out of range for {name!r}")
-        with path.open("rb") as handle:
-            handle.seek(page_no * self._page_size)
-            data = handle.read(self._page_size)
+            raise MissingPageError(f"page {page_no} out of range for {name!r}")
+        try:
+            with path.open("rb") as handle:
+                handle.seek(page_no * self._page_size)
+                data = handle.read(self._page_size)
+        except OSError as error:
+            raise TransientIOError(f"read failed for {name!r}: {error}") from error
         if not data:
             total = path.stat().st_size // self._page_size
-            raise StorageError(
+            raise MissingPageError(
                 f"page {page_no} out of range for {name!r} with {total} pages"
             )
         if len(data) < self._page_size:
             # A trailing partial page means the OS file was truncated out
-            # from under us (or written by something that is not a page
+            # from under us (a torn write, or something that is not a page
             # store); surface it instead of returning short bytes.
-            raise StorageError(
+            raise CorruptPageError(
                 f"short page {page_no} in {name!r}: got {len(data)} of "
                 f"{self._page_size} bytes"
             )
@@ -230,22 +262,30 @@ class FileSystemBackend(StorageBackend):
         path = self._require(name)
         total = path.stat().st_size // self._page_size
         if not 0 <= page_no < total:
-            raise StorageError(
+            raise MissingPageError(
                 f"page {page_no} out of range for {name!r} with {total} pages"
             )
-        with path.open("r+b") as handle:
-            handle.seek(page_no * self._page_size)
-            handle.write(self._check_page_data(data))
+        data = self._check_page_data(data)
+        try:
+            with path.open("r+b") as handle:
+                handle.seek(page_no * self._page_size)
+                handle.write(data)
+        except OSError as error:
+            raise TransientIOError(f"write failed for {name!r}: {error}") from error
 
     def append(self, name: str, data: bytes) -> int:
         path = self._require(name)
-        with path.open("ab") as handle:
-            page_no = handle.tell() // self._page_size
-            handle.write(self._check_page_data(data))
+        data = self._check_page_data(data)
+        try:
+            with path.open("ab") as handle:
+                page_no = handle.tell() // self._page_size
+                handle.write(data)
+        except OSError as error:
+            raise TransientIOError(f"append failed for {name!r}: {error}") from error
         return page_no
 
     def _require(self, name: str) -> Path:
         path = self._path(name)
         if not path.exists():
-            raise StorageError(f"no such file: {name!r}")
+            raise MissingFileError(f"no such file: {name!r}")
         return path

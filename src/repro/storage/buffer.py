@@ -213,6 +213,17 @@ class BufferPool:
             if self._decoded.pop(key, None) is not None:
                 self._decoded_invalidations += 1
 
+    def invalidate_page(self, file_name: str, page_no: int) -> None:
+        """Drop one page from both layers (used when its bytes become
+        unreliable: an in-place overwrite is about to change them, or a
+        re-read after a write failed).  Decoded drops count as
+        ``decoded_invalidations``, same as :meth:`invalidate_file`.
+        """
+        key = (file_name, page_no)
+        self._pages.pop(key, None)
+        if self._decoded.pop(key, None) is not None:
+            self._decoded_invalidations += 1
+
     def clear(self) -> None:
         """Drop every cached page (the paper's per-query cache clearing)."""
         self._pages.clear()
@@ -362,6 +373,12 @@ class ShardedBufferPool:
         for lock, shard in zip(self._locks, self._shards):
             with lock:
                 shard.invalidate_file(file_name)
+
+    def invalidate_page(self, file_name: str, page_no: int) -> None:
+        """Drop one page from both layers of its shard."""
+        index = self.shard_of(file_name, page_no)
+        with self._locks[index]:
+            self._shards[index].invalidate_page(file_name, page_no)
 
     def clear(self) -> None:
         """Drop every cached page in every shard."""

@@ -96,6 +96,9 @@ class IOStats:
     cache_hits: int = 0
     io_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    retries: int = 0
+    corrupt_reads_detected: int = 0
+    retry_giveups: int = 0
     reads_by_kind: dict[str, int] = field(
         default_factory=lambda: {AccessKind.SEQUENTIAL.value: 0, AccessKind.RANDOM.value: 0}
     )
@@ -130,6 +133,17 @@ class IOStats:
             raise ValueError("seconds must be non-negative")
         self.cpu_seconds += seconds
 
+    def record_retry_event(self, event: str) -> None:
+        """Account for retry-layer activity (events from
+        :mod:`repro.storage.retry`): a retry run, a checksum-failed read,
+        or an exhausted retry budget."""
+        if event == "retry":
+            self.retries += 1
+        elif event == "corrupt_read":
+            self.corrupt_reads_detected += 1
+        elif event == "exhausted":
+            self.retry_giveups += 1
+
     def snapshot(self) -> "IOStats":
         """An immutable copy of the current counters."""
         return IOStats(
@@ -139,6 +153,9 @@ class IOStats:
             cache_hits=self.cache_hits,
             io_seconds=self.io_seconds,
             cpu_seconds=self.cpu_seconds,
+            retries=self.retries,
+            corrupt_reads_detected=self.corrupt_reads_detected,
+            retry_giveups=self.retry_giveups,
             reads_by_kind=dict(self.reads_by_kind),
         )
 
@@ -151,6 +168,10 @@ class IOStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
             io_seconds=self.io_seconds - earlier.io_seconds,
             cpu_seconds=self.cpu_seconds - earlier.cpu_seconds,
+            retries=self.retries - earlier.retries,
+            corrupt_reads_detected=self.corrupt_reads_detected
+            - earlier.corrupt_reads_detected,
+            retry_giveups=self.retry_giveups - earlier.retry_giveups,
             reads_by_kind={
                 key: self.reads_by_kind[key] - earlier.reads_by_kind.get(key, 0)
                 for key in self.reads_by_kind

@@ -50,7 +50,7 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Iterator, Sequence
 
-from repro.storage.backend import InMemoryBackend, StorageBackend
+from repro.storage.backend import InMemoryBackend, StorageBackend, StorageError
 from repro.storage.buffer import BufferPool, ShardedBufferPool
 from repro.storage.cost_model import AccessKind, DiskModel, IOStats
 
@@ -100,6 +100,16 @@ class Disk:
         self._head: tuple[str, int] | None = None
         self._lock = threading.RLock()
         self._snapshot_sinks: list = []
+        # A retry-capable backend (repro.storage.retry.RetryingBackend)
+        # exposes add_retry_listener; fold its activity into IOStats so
+        # retries are visible wherever I/O accounting already flows.
+        register = getattr(self._backend, "add_retry_listener", None)
+        if register is not None:
+            register(self._on_retry_event)
+
+    def _on_retry_event(self, event: str) -> None:
+        with self._lock:  # RLock: safe when the op already holds it
+            self._stats.record_retry_event(event)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -210,7 +220,13 @@ class Disk:
                 self._stats.record_cache_hit()
                 return cached
             kind = self._classify(name, page_no)
-            data = self._backend.read(name, page_no)
+            try:
+                data = self._backend.read(name, page_no)
+            except StorageError:
+                # Nothing was read: make sure no layer of the pool keeps
+                # an entry for a page we just failed to materialise.
+                self._buffer.invalidate_page(name, page_no)
+                raise
             self._charge_read(kind, 1)
             self._advance_head(name, page_no)
             self._buffer.put(name, page_no, data)
@@ -237,7 +253,11 @@ class Disk:
                     self._stats.record_cache_hit()
                     pages.append(cached)
                     continue
-                data = self._backend.read(name, page_no)
+                try:
+                    data = self._backend.read(name, page_no)
+                except StorageError:
+                    self._buffer.invalidate_page(name, page_no)
+                    raise
                 if first_uncached is None:
                     first_uncached = page_no
                 uncached += 1
@@ -282,7 +302,11 @@ class Disk:
                     self._stats.record_cache_hit()
                     pages.append(cached)
                     continue
-                data = self._backend.read(name, page_no)
+                try:
+                    data = self._backend.read(name, page_no)
+                except StorageError:
+                    self._buffer.invalidate_page(name, page_no)
+                    raise
                 if first_uncached is None:
                     first_uncached = page_no
                 uncached += 1
@@ -301,10 +325,14 @@ class Disk:
             if self._snapshot_sinks and page_no < self._backend.num_pages(name):
                 self._retain_pre_image(name, page_no)
             kind = self._classify(name, page_no)
+            # Drop the cached pre-write bytes first: if the write (or the
+            # re-read below) fails, the pool must fall back to the
+            # backend instead of serving the page's old contents.
+            self._buffer.invalidate_page(name, page_no)
             self._backend.write(name, page_no, data)
             self._charge_write(kind, 1)
             self._advance_head(name, page_no)
-            self._buffer.put(name, page_no, self._backend.read(name, page_no))
+            self._recache(name, page_no)
 
     def append_page(self, name: str, data: bytes) -> int:
         """Append one page to the end of the file and return its number."""
@@ -314,7 +342,7 @@ class Disk:
             page_no = self._backend.append(name, data)
             self._charge_write(kind, 1)
             self._advance_head(name, page_no)
-            self._buffer.put(name, page_no, self._backend.read(name, page_no))
+            self._recache(name, page_no)
             return page_no
 
     def append_run(self, name: str, pages: Sequence[bytes]) -> int:
@@ -326,10 +354,24 @@ class Disk:
             kind = self._classify(name, first)
             for data in pages:
                 page_no = self._backend.append(name, data)
-                self._buffer.put(name, page_no, self._backend.read(name, page_no))
+                self._recache(name, page_no)
             self._charge_write(kind, len(pages))
             self._advance_head(name, first + len(pages) - 1)
             return first
+
+    def _recache(self, name: str, page_no: int) -> None:
+        """Refresh the pool with a page's post-write backend bytes.
+
+        Caching is an optimisation on top of a write that already
+        succeeded: if the uncharged re-read fails (a transient fault that
+        survived the backend's own retries), the page is simply left
+        uncached — with no stale entry on either pool layer — and the
+        next read will fetch and charge it normally.
+        """
+        try:
+            self._buffer.put(name, page_no, self._backend.read(name, page_no))
+        except StorageError:
+            self._buffer.invalidate_page(name, page_no)
 
     def scan_pages(self, name: str) -> Iterator[bytes]:
         """Yield every page of a file in order (charged as one sequential run)."""

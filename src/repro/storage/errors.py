@@ -1,0 +1,73 @@
+"""The storage error taxonomy: transient vs permanent failures.
+
+Every storage-layer failure is classified along one axis — *is retrying
+worth anything?* — because that is the only question the layers above
+ask:
+
+* :class:`TransientIOError` — the operation failed but the stored bytes
+  are presumed intact (a flaky bus, an interrupted syscall, an injected
+  fault).  :class:`~repro.storage.retry.RetryingBackend` absorbs these
+  with bounded exponential backoff.
+* :class:`CorruptPageError` — the bytes came back but fail validation
+  (bad CRC trailer, short page).  A re-read *may* help when the
+  corruption happened in flight; corruption persisted by a torn write
+  does not go away, so retry layers attempt a bounded number of re-reads
+  and then surface the error.
+* :class:`MissingFileError` / :class:`MissingPageError` — the caller
+  named something that does not exist.  Deterministic and permanent:
+  retrying is pointless, so retry layers pass these straight through.
+
+All of them subclass :class:`StorageError` (the seed-era catch-all), so
+pre-existing ``except StorageError`` sites keep working unchanged.
+``TransientIOError`` additionally subclasses :class:`IOError` so generic
+I/O handling treats it as what it models.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for storage failures (missing files, bad offsets, corruption)."""
+
+
+class TransientIOError(StorageError, IOError):
+    """A fault that left the stored bytes intact; retrying may succeed."""
+
+
+class CorruptPageError(StorageError):
+    """Page bytes failed validation (CRC mismatch or short page)."""
+
+
+class MissingFileError(StorageError):
+    """The named file does not exist.  Permanent: retrying cannot help."""
+
+
+class MissingPageError(StorageError):
+    """The page number is outside the file.  Permanent: retrying cannot help."""
+
+
+class SimulatedCrash(BaseException):
+    """A process crash injected by :class:`~repro.storage.faults.FaultInjectingBackend`.
+
+    Deliberately *not* a :class:`StorageError` (and not even an
+    :class:`Exception`): a crash is the process dying, so no retry layer,
+    ``except Exception`` cleanup path or serving dispatcher may absorb
+    it.  Crash-recovery tests catch it explicitly at top level, discard
+    the in-memory engine — exactly what a real crash does — and recover
+    from the journal.
+    """
+
+    def __init__(self, crash_point: str) -> None:
+        super().__init__(crash_point)
+        self.crash_point = crash_point
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether a retry layer should consider retrying after ``error``.
+
+    Transient faults are always worth retrying; corrupt pages are worth a
+    bounded number of re-reads (in-flight corruption disappears on
+    re-read, persisted corruption does not).  Everything else — missing
+    files/pages, programming errors — is permanent.
+    """
+    return isinstance(error, (TransientIOError, CorruptPageError))

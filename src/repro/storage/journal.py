@@ -1,0 +1,179 @@
+"""Crash-consistent manifest journal.
+
+The recovery layer (:mod:`repro.core.recovery`) persists a *manifest* —
+one JSON document describing everything needed to rebuild the engine's
+adaptive state — at every commit point.  This module owns the on-disk
+format and its crash-consistency discipline:
+
+* The journal is an append-only host-filesystem file of length-prefixed,
+  checksummed records::
+
+      <u32 payload length> <u32 crc32(payload)> <payload: UTF-8 JSON>
+
+  :meth:`ManifestJournal.commit` appends one record and ``flush`` +
+  ``fsync`` s before returning, so a record either survives whole or is
+  detectably torn.  :meth:`ManifestJournal.read_last` scans forward and
+  returns the **last intact record**, silently discarding a torn or
+  corrupt tail — a crash mid-commit simply re-exposes the previous
+  commit point.
+
+* Every ``compact_every`` commits (and on demand via
+  :meth:`ManifestJournal.rewrite`) the journal is compacted to a single
+  record through the classic write-temp/fsync/rename dance: the new
+  content is written to ``<path>.tmp``, fsync'd, atomically renamed over
+  ``<path>``, and the directory is fsync'd.  A crash at any step leaves
+  either the complete old journal or the complete new one.
+
+Crash points
+------------
+For the crash-point sweep, a ``crash_hook(name)`` callable can be
+injected; the journal invokes it at named sites —
+``journal.commit.start`` (nothing written yet), ``journal.commit.torn``
+(half the record bytes written), ``journal.commit.end`` (record
+durable), and ``journal.rewrite.start`` / ``journal.rewrite.
+before_rename`` / ``journal.rewrite.end``.  A hook that raises
+:class:`~repro.storage.errors.SimulatedCrash` leaves the file exactly as
+a power loss at that point would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+#: Per-record header: payload length and crc32 of the payload.
+RECORD_HEADER = struct.Struct("<II")
+
+
+class ManifestJournal:
+    """An append-only, checksummed, atomically-compactable record log."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        compact_every: int = 64,
+        crash_hook: Callable[[str], None] | None = None,
+    ) -> None:
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._compact_every = compact_every
+        self._crash_hook = crash_hook
+        self._commits = 0
+
+    @property
+    def path(self) -> Path:
+        """Where the journal lives on the host filesystem."""
+        return self._path
+
+    def exists(self) -> bool:
+        """Whether any journal bytes exist yet."""
+        return self._path.exists()
+
+    def _crash_point(self, name: str) -> None:
+        if self._crash_hook is not None:
+            self._crash_hook(name)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _encode(record: dict[str, Any]) -> bytes:
+        payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode()
+        return RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+    def commit(self, record: dict[str, Any]) -> None:
+        """Durably append one manifest record (auto-compacting periodically)."""
+        self._commits += 1
+        if self._commits % self._compact_every == 0:
+            self.rewrite(record)
+            return
+        encoded = self._encode(record)
+        self._crash_point("journal.commit.start")
+        half = len(encoded) // 2
+        with self._path.open("ab") as handle:
+            handle.write(encoded[:half])
+            try:
+                self._crash_point("journal.commit.torn")
+            except BaseException:
+                # Persist the torn prefix exactly as a power loss would.
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise
+            handle.write(encoded[half:])
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._crash_point("journal.commit.end")
+
+    def rewrite(self, record: dict[str, Any]) -> None:
+        """Atomically replace the whole journal with one record."""
+        encoded = self._encode(record)
+        self._crash_point("journal.rewrite.start")
+        tmp = self._path.with_suffix(self._path.suffix + ".tmp")
+        with tmp.open("wb") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._crash_point("journal.rewrite.before_rename")
+        os.replace(tmp, self._path)
+        self._fsync_dir()
+        self._crash_point("journal.rewrite.end")
+
+    def _fsync_dir(self) -> None:
+        # Durability of the rename itself; ignored where directories
+        # cannot be opened (non-POSIX filesystems).
+        try:
+            fd = os.open(self._path.parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Yield every intact record in order, stopping at the first
+        torn/corrupt one (anything after it is unreachable by design:
+        appends are sequential, so bytes after a torn record can only be
+        more of the same interrupted write)."""
+        try:
+            blob = self._path.read_bytes()
+        except FileNotFoundError:
+            return
+        offset = 0
+        while offset + RECORD_HEADER.size <= len(blob):
+            length, checksum = RECORD_HEADER.unpack_from(blob, offset)
+            start = offset + RECORD_HEADER.size
+            end = start + length
+            if end > len(blob):
+                return  # torn tail
+            payload = blob[start:end]
+            if zlib.crc32(payload) != checksum:
+                return  # corrupt record: discard it and everything after
+            try:
+                record = json.loads(payload.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return
+            yield record
+            offset = end
+
+    def read_last(self) -> dict[str, Any] | None:
+        """The most recent intact manifest, or ``None`` for an empty or
+        wholly-corrupt journal."""
+        last: dict[str, Any] | None = None
+        for record in self.records():
+            last = record
+        return last

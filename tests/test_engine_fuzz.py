@@ -228,3 +228,173 @@ def test_fuzz_quick(seed):
 def test_fuzz_deep(seed):
     """The opt-in deep sweep (one test per extra seed)."""
     run_fuzz_scenario(seed)
+
+
+# ---------------------------------------------------------------------- #
+# Fault campaign: the same five-engine oracle under injected storage faults
+# ---------------------------------------------------------------------- #
+
+#: Seeds fault-fuzzed in every tier-1 run.
+FAULT_QUICK_SEEDS = (0, 1)
+
+#: Extra seeds fault-fuzzed in deep mode (``REPRO_FAULT_ITERATIONS=N``).
+FAULT_DEEP_ITERATIONS = int(os.environ.get("REPRO_FAULT_ITERATIONS", "0"))
+FAULT_DEEP_SEEDS = tuple(
+    range(len(FAULT_QUICK_SEEDS), len(FAULT_QUICK_SEEDS) + FAULT_DEEP_ITERATIONS)
+)
+
+
+def run_fault_campaign(seed: int) -> None:
+    """One fuzz scenario re-run with every engine's storage under fire.
+
+    Each engine's cloned backend is wrapped in a seeded
+    :class:`~repro.storage.faults.FaultInjectingBackend` (transient
+    read/write errors, in-flight bit-flips, torn in-place writes) under a
+    :class:`~repro.storage.retry.RetryingBackend`.  The contract: the
+    retry layer absorbs every injected fault (zero client-visible
+    errors), and all five engines still produce bit-identical hits,
+    adaptive state and on-disk bytes — fault placement differs per engine
+    (thread scheduling consumes the fault RNG in different orders), so
+    this proves transient faults cannot perturb logical state.
+    """
+    from repro.storage.faults import FaultInjectingBackend, FaultPlan
+    from repro.storage.retry import RetryingBackend, RetryPolicy
+
+    from tests.test_recovery import fork_with
+
+    rng = random.Random(0xFA17 + seed)
+    scenario = _random_scenario(rng)
+    tag = f"fault seed {seed} ({scenario['n_queries']} queries)"
+
+    suite = build_benchmark_suite(
+        n_datasets=scenario["n_datasets"],
+        objects_per_dataset=scenario["objects_per_dataset"],
+        seed=scenario["suite_seed"],
+        dimension=scenario["dimension"],
+        buffer_pages=scenario["buffer_pages"],
+        buffer_shards=scenario["buffer_shards"],
+        model=DiskModel(seek_time_s=1e-4),
+    )
+    workload = list(
+        generate_workload(
+            suite.universe,
+            suite.catalog.dataset_ids(),
+            scenario["n_queries"],
+            seed=scenario["workload_seed"],
+            datasets_per_query=min(
+                scenario["datasets_per_query"], scenario["n_datasets"]
+            ),
+            volume_fraction=scenario["volume_fraction"],
+            ranges=scenario["ranges"],
+            ids_distribution=scenario["ids_distribution"],
+        )
+    )
+    config = scenario["config"]
+    plan = FaultPlan(
+        seed=seed,
+        read_error_rate=0.03,
+        write_error_rate=0.03,
+        corrupt_read_rate=0.02,
+        torn_write_rate=0.02,
+    )
+    policy = RetryPolicy(max_attempts=8, seed=seed)
+
+    def faulty_fork():
+        return fork_with(
+            suite,
+            lambda backend: RetryingBackend(
+                FaultInjectingBackend(backend, plan), policy, sleep=lambda _s: None
+            ),
+        )
+
+    scalar = SpaceOdyssey(faulty_fork().catalog, replace(config, columnar=False))
+    columnar = SpaceOdyssey(faulty_fork().catalog, config)
+    batch = SpaceOdyssey(faulty_fork().catalog, config)
+    parallel = SpaceOdyssey(faulty_fork().catalog, config)
+    epoch = SpaceOdyssey(faulty_fork().catalog, config)
+    engines = (
+        ("scalar", scalar),
+        ("columnar", columnar),
+        ("batch", batch),
+        ("parallel", parallel),
+        ("epoch", epoch),
+    )
+
+    scalar_hits, columnar_hits = [], []
+    for query in workload:
+        scalar_hits.append(scalar.query(query.box, query.dataset_ids))
+        columnar_hits.append(columnar.query(query.box, query.dataset_ids))
+
+    batch_hits, parallel_hits, epoch_hits = [], [], []
+    chunk_size = scenario["batch_size"]
+    for start in range(0, len(workload), chunk_size):
+        chunk = workload[start : start + chunk_size]
+        batch_hits.extend(batch.query_batch(chunk).results)
+        parallel_hits.extend(
+            parallel.query_batch(chunk, workers=scenario["workers"]).results
+        )
+        epoch_hits.extend(
+            epoch.query_batch(
+                chunk, snapshot=True, workers=scenario["workers"]
+            ).results
+        )
+
+    # Disarm before the byte-level comparison, like restarting on healthy
+    # hardware; the retry layer has already proven it absorbs everything.
+    injected = 0
+    for name, engine in engines:
+        retrying = engine.disk.backend
+        fault = retrying.inner
+        fault.disarm()
+        counters = fault.counters()
+        injected += (
+            counters.transient_read_errors
+            + counters.transient_write_errors
+            + counters.reads_corrupted
+            + counters.torn_writes
+        )
+        assert retrying.counters().exhausted == 0, (
+            f"{tag}: {name} exhausted a retry budget (client-visible error)"
+        )
+    assert injected > 0, f"{tag}: the campaign injected no faults at all"
+
+    for index in range(len(workload)):
+        assert scalar_hits[index] == columnar_hits[index], (
+            f"{tag}: scalar vs columnar hits differ for query {index}"
+        )
+        assert batch_hits[index] == parallel_hits[index], (
+            f"{tag}: batch vs parallel hits differ for query {index}"
+        )
+        assert batch_hits[index] == epoch_hits[index], (
+            f"{tag}: batch vs epoch hits differ for query {index}"
+        )
+        assert packed_hits(columnar, columnar_hits[index]) == packed_hits(
+            batch, batch_hits[index]
+        ), f"{tag}: columnar vs batch hit bytes differ for query {index}"
+
+    reference_state = adaptive_state(scalar)
+    reference_files = disk_files(scalar)
+    for name, engine in engines[1:]:
+        assert adaptive_state(engine) == reference_state, (
+            f"{tag}: {name} adaptive state diverged under faults"
+        )
+        assert disk_files(engine) == reference_files, (
+            f"{tag}: {name} on-disk bytes diverged under faults"
+        )
+
+
+@pytest.mark.parametrize("seed", FAULT_QUICK_SEEDS)
+def test_fault_campaign_quick(seed):
+    """The tier-1 sample of the fault-campaign space."""
+    run_fault_campaign(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    FAULT_DEEP_ITERATIONS == 0,
+    reason="deep fault campaign disabled; set REPRO_FAULT_ITERATIONS=N to enable",
+)
+@pytest.mark.parametrize("seed", FAULT_DEEP_SEEDS)
+def test_fault_campaign_deep(seed):
+    """The opt-in deep fault sweep (one test per extra seed)."""
+    run_fault_campaign(seed)

@@ -1,0 +1,266 @@
+"""Graceful degradation and shutdown semantics of the serving frontend.
+
+A ``FlakyEngine`` delegating wrapper injects failures at exact engine
+entry points (``query``, ``query_batch``, ``prepare_batch``), so every
+scenario is deterministic: transient errors must be retried with backoff,
+repeated failures must open the circuit breaker (typed ``ServiceDegraded``
+shed, never a hang), a cooled-down breaker must close again on a
+successful probe, and ``close()``/``submit()`` must behave deterministically
+for both the classic and the pipelined dispatcher.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OdysseyConfig
+from repro.core.odyssey import SpaceOdyssey
+from repro.geometry.box import Box
+from repro.serve.service import (
+    QueryService,
+    ServiceClosed,
+    ServiceDegraded,
+)
+from repro.storage.errors import TransientIOError
+
+
+class FlakyEngine:
+    """Delegates to a real engine, injecting scripted failures.
+
+    ``transient_query_failures`` — the next N ``query`` calls raise
+    :class:`TransientIOError` (then delegate).
+    ``transient_prepare_failures`` — same for ``prepare_batch``.
+    ``batch_error`` — while set, every ``query_batch`` call raises it.
+    ``armed_error`` — while set, ``query``/``query_batch``/``prepare_batch``
+    all raise it (a persistently broken engine).
+    """
+
+    def __init__(self, engine: SpaceOdyssey) -> None:
+        self._engine = engine
+        self.transient_query_failures = 0
+        self.transient_prepare_failures = 0
+        self.batch_error: BaseException | None = None
+        self.armed_error: BaseException | None = None
+        self.engine_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def query(self, box, dataset_ids):
+        if self.armed_error is not None:
+            raise self.armed_error
+        if self.transient_query_failures > 0:
+            self.transient_query_failures -= 1
+            raise TransientIOError("injected transient query fault")
+        self.engine_calls += 1
+        return self._engine.query(box, dataset_ids)
+
+    def query_batch(self, queries, workers=None):
+        if self.armed_error is not None:
+            raise self.armed_error
+        if self.batch_error is not None:
+            raise self.batch_error
+        self.engine_calls += 1
+        return self._engine.query_batch(queries, workers=workers)
+
+    def prepare_batch(self, queries, workers=None):
+        if self.armed_error is not None:
+            raise self.armed_error
+        if self.transient_prepare_failures > 0:
+            self.transient_prepare_failures -= 1
+            raise TransientIOError("injected transient prepare fault")
+        self.engine_calls += 1
+        return self._engine.prepare_batch(queries, workers=workers)
+
+    def commit_batch(self, prepared):
+        return self._engine.commit_batch(prepared)
+
+
+BOX = Box((100.0, 100.0, 100.0), (1000.0, 1000.0, 1000.0))
+
+
+def hit_keys(hits) -> list[tuple[int, int]]:
+    """Order-insensitive identity of a query answer."""
+    return sorted((obj.dataset_id, obj.oid) for obj in hits)
+
+
+@pytest.fixture
+def engine(suite) -> SpaceOdyssey:
+    return SpaceOdyssey(suite.catalog, OdysseyConfig())
+
+
+def service(target, **kwargs) -> QueryService:
+    kwargs.setdefault("max_delay_ms", 0.0)
+    kwargs.setdefault("sleep", lambda _s: None)
+    return QueryService(target, **kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Shutdown semantics (both dispatchers)
+# ---------------------------------------------------------------------- #
+
+
+class TestCloseSemantics:
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_close_is_idempotent(self, engine, pipeline):
+        svc = service(engine, pipeline=pipeline)
+        svc.query(BOX, (0,))
+        svc.close()
+        svc.close()  # second close is a no-op, not an error
+        svc.close(drain=False)  # ...in either mode
+        assert svc.closed
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_submit_after_close_raises_deterministically(self, engine, pipeline):
+        svc = service(engine, pipeline=pipeline)
+        svc.close()
+        for _ in range(3):
+            with pytest.raises(ServiceClosed):
+                svc.submit(BOX, (0,))
+        stats = svc.stats
+        assert stats.submitted == stats.completed + stats.failed + stats.cancelled
+
+    def test_engine_usable_after_close(self, engine):
+        svc = service(engine, pipeline=False)
+        expected = hit_keys(svc.query(BOX, (0, 1)))
+        svc.close()
+        assert hit_keys(engine.query(BOX, (0, 1))) == expected
+        assert hit_keys(engine.query(BOX, (0, 1))) == expected
+
+
+# ---------------------------------------------------------------------- #
+# Transient retry with backoff
+# ---------------------------------------------------------------------- #
+
+
+class TestTransientRetry:
+    def test_sequential_fallback_retries_transient_queries(self, engine, suite):
+        reference = SpaceOdyssey(suite.fork().catalog, OdysseyConfig())
+        flaky = FlakyEngine(engine)
+        flaky.batch_error = TransientIOError("batch path down")
+        flaky.transient_query_failures = 2
+        sleeps: list[float] = []
+        svc = service(
+            flaky, pipeline=False, batch_retries=2, retry_backoff_ms=1.0,
+            sleep=sleeps.append,
+        )
+        with svc:
+            hits = svc.query(BOX, (0, 1))
+        assert hit_keys(hits) == hit_keys(reference.query(BOX, (0, 1)))
+        stats = svc.stats
+        assert stats.failed == 0
+        assert stats.fallbacks == 1  # the broken batch path forced the fallback
+        assert stats.retries == 2  # both transient faults absorbed
+        assert sleeps == [0.001, 0.002]  # exponential backoff between retries
+        assert svc.healthy
+
+    def test_pipelined_prepare_retries_transient_faults(self, engine):
+        flaky = FlakyEngine(engine)
+        flaky.transient_prepare_failures = 2
+        svc = service(flaky, pipeline=True, batch_retries=2)
+        with svc:
+            hits = svc.query(BOX, (0,))
+        assert hit_keys(hits) == hit_keys(engine.query(BOX, (0,)))
+        stats = svc.stats
+        assert stats.retries == 2
+        assert stats.failed == 0
+        assert stats.fallbacks == 0  # prepare recovered; no sequential replay
+
+    def test_retry_budget_exhaustion_surfaces_the_error(self, engine):
+        flaky = FlakyEngine(engine)
+        flaky.batch_error = TransientIOError("batch path down")
+        flaky.transient_query_failures = 10
+        svc = service(flaky, pipeline=False, batch_retries=2)
+        with svc:
+            submission = svc.submit(BOX, (0,))
+            error = submission.exception(timeout=10)
+        assert isinstance(error, TransientIOError)
+        assert svc.stats.failed == 1
+        assert svc.stats.retries == 2  # budget spent before surfacing
+
+    def test_non_transient_errors_are_not_retried(self, engine):
+        flaky = FlakyEngine(engine)
+        flaky.armed_error = ValueError("bad dataset id")
+        svc = service(flaky, pipeline=False, batch_retries=5)
+        with svc:
+            error = svc.submit(BOX, (0,)).exception(timeout=10)
+        assert isinstance(error, ValueError)
+        assert svc.stats.retries == 0
+
+
+# ---------------------------------------------------------------------- #
+# Circuit breaker
+# ---------------------------------------------------------------------- #
+
+
+class TestCircuitBreaker:
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_breaker_opens_and_sheds_with_typed_error(self, engine, pipeline):
+        flaky = FlakyEngine(engine)
+        flaky.armed_error = ValueError("engine on fire")
+        svc = service(
+            flaky,
+            pipeline=pipeline,
+            batch_retries=0,
+            breaker_threshold=2,
+            breaker_cooldown_ms=60_000.0,  # stays open for the whole test
+        )
+        with svc:
+            first = svc.submit(BOX, (0,)).exception(timeout=10)
+            second = svc.submit(BOX, (0,)).exception(timeout=10)
+            assert isinstance(first, ValueError)
+            assert isinstance(second, ValueError)
+            calls_when_opened = flaky.engine_calls
+            # The breaker is now open: queries resolve immediately with a
+            # typed error (never a hang) and the engine is not touched.
+            shed = [svc.submit(BOX, (0,)).exception(timeout=10) for _ in range(3)]
+            assert all(isinstance(error, ServiceDegraded) for error in shed)
+            assert flaky.engine_calls == calls_when_opened
+            assert not svc.healthy
+        stats = svc.stats
+        assert stats.breaker_opens == 1
+        assert stats.degraded == 3
+        assert stats.failed == 2 + 3  # engine failures plus shed queries
+        assert stats.submitted == stats.completed + stats.failed + stats.cancelled
+
+    def test_breaker_closes_after_successful_probe(self, engine):
+        flaky = FlakyEngine(engine)
+        flaky.armed_error = ValueError("engine on fire")
+        svc = service(
+            flaky,
+            pipeline=False,
+            batch_retries=0,
+            breaker_threshold=2,
+            breaker_cooldown_ms=0.0,  # half-open immediately
+        )
+        with svc:
+            svc.submit(BOX, (0,)).exception(timeout=10)
+            svc.submit(BOX, (0,)).exception(timeout=10)
+            assert svc.stats.breaker_opens == 1
+            flaky.armed_error = None  # the storage recovered
+            hits = svc.query(BOX, (0,))  # the half-open probe goes through
+            assert hit_keys(hits) == hit_keys(engine.query(BOX, (0,)))
+            assert svc.healthy
+            assert hit_keys(svc.query(BOX, (0,))) == hit_keys(hits)
+
+    def test_breaker_disabled_never_sheds(self, engine):
+        flaky = FlakyEngine(engine)
+        flaky.armed_error = ValueError("engine on fire")
+        svc = service(flaky, pipeline=False, batch_retries=0, breaker_threshold=None)
+        with svc:
+            errors = [svc.submit(BOX, (0,)).exception(timeout=10) for _ in range(6)]
+        assert all(isinstance(error, ValueError) for error in errors)
+        assert svc.stats.degraded == 0
+        assert svc.stats.breaker_opens == 0
+
+
+class TestParameterValidation:
+    def test_rejects_bad_degradation_parameters(self, engine):
+        with pytest.raises(ValueError):
+            QueryService(engine, batch_retries=-1)
+        with pytest.raises(ValueError):
+            QueryService(engine, retry_backoff_ms=-1.0)
+        with pytest.raises(ValueError):
+            QueryService(engine, breaker_threshold=0)
+        with pytest.raises(ValueError):
+            QueryService(engine, breaker_cooldown_ms=-1.0)

@@ -170,3 +170,81 @@ class TestFileSystemErrorPaths:
         fs.create("a/b")
         with pytest.raises(StorageError, match="already exists"):
             fs.create("a:b")
+
+
+class TestErrorTaxonomy:
+    """Both backends raise the same typed errors for the same conditions.
+
+    The taxonomy (see :mod:`repro.storage.errors`) is what the retry and
+    recovery layers key on: transient errors are worth retrying, missing
+    files/pages and oversized data are not.
+    """
+
+    def test_missing_file_is_typed(self, backend):
+        from repro.storage.errors import MissingFileError
+
+        for operation in (
+            lambda: backend.num_pages("missing"),
+            lambda: backend.read("missing", 0),
+            lambda: backend.write("missing", 0, b"x"),
+            lambda: backend.append("missing", b"x"),
+            lambda: backend.delete("missing"),
+        ):
+            with pytest.raises(MissingFileError):
+                operation()
+
+    def test_missing_page_is_typed(self, backend):
+        from repro.storage.errors import MissingPageError
+
+        backend.create("f")
+        backend.append("f", b"page-0")
+        for page_no in (-1, 1, 10_000):
+            with pytest.raises(MissingPageError):
+                backend.read("f", page_no)
+            with pytest.raises(MissingPageError):
+                backend.write("f", page_no, b"x")
+
+    def test_oversized_page_is_a_caller_bug_not_io(self, backend):
+        from repro.storage.errors import (
+            CorruptPageError,
+            MissingFileError,
+            TransientIOError,
+        )
+
+        backend.create("f")
+        with pytest.raises(StorageError) as info:
+            backend.append("f", b"x" * 257)
+        assert not isinstance(
+            info.value, (TransientIOError, CorruptPageError, MissingFileError)
+        )
+
+    def test_every_taxonomy_member_is_a_storage_error(self):
+        from repro.storage.errors import (
+            CorruptPageError,
+            MissingFileError,
+            MissingPageError,
+            TransientIOError,
+        )
+
+        for kind in (
+            CorruptPageError,
+            MissingFileError,
+            MissingPageError,
+            TransientIOError,
+        ):
+            assert issubclass(kind, StorageError)
+
+    def test_transient_classification_drives_retry(self):
+        from repro.storage.errors import (
+            CorruptPageError,
+            MissingFileError,
+            MissingPageError,
+            TransientIOError,
+            is_transient,
+        )
+
+        assert is_transient(TransientIOError("x"))
+        assert is_transient(CorruptPageError("x"))
+        assert not is_transient(MissingFileError("x"))
+        assert not is_transient(MissingPageError("x"))
+        assert not is_transient(StorageError("x"))

@@ -411,3 +411,155 @@ class TestConcurrentIntrospection:
             assert acquired == sorted(acquired), (
                 f"shard locks acquired out of index order: {acquired}"
             )
+
+
+class TestInvalidatePage:
+    """Single-page invalidation: the primitive the disk uses to keep the
+    pool honest around failed reads and in-place overwrites."""
+
+    def test_drops_byte_and_decoded_layers(self):
+        pool = BufferPool(4)
+        page = b"bytes"
+        pool.put("f", 0, page)
+        pool.put_decoded("f", 0, page, "decoded")
+        pool.put("f", 1, b"other")
+        pool.invalidate_page("f", 0)
+        assert pool.get("f", 0) is None
+        assert pool.get_decoded("f", 0, page) is None
+        assert pool.get("f", 1) == b"other"  # untouched sibling
+        assert pool.decoded_invalidations == 1
+
+    def test_missing_page_is_a_noop(self):
+        pool = BufferPool(4)
+        pool.invalidate_page("f", 0)  # nothing cached: must not raise
+        assert pool.decoded_invalidations == 0
+
+    def test_sharded_pool_routes_to_the_owning_shard(self):
+        pool = ShardedBufferPool(16, 4)
+        for page_no in range(8):
+            pool.put("f", page_no, b"x%d" % page_no)
+        pool.invalidate_page("f", 3)
+        assert pool.get("f", 3) is None
+        for page_no in (0, 1, 2, 4, 5, 6, 7):
+            assert pool.get("f", page_no) is not None
+
+
+class TestDiskFailedReadInvalidation:
+    """Regression: a failed backend read or write must never leave the
+    pool serving bytes the backend no longer vouches for."""
+
+    @staticmethod
+    def _disk_with_script(buffer_pages=8):
+        from repro.storage.backend import InMemoryBackend, StorageBackend
+        from repro.storage.cost_model import DiskModel
+        from repro.storage.disk import Disk
+        from repro.storage.errors import TransientIOError
+
+        class ScriptedBackend(StorageBackend):
+            """Fails exactly the operations the test arms."""
+
+            def __init__(self):
+                inner = InMemoryBackend(page_size=64)
+                super().__init__(inner.page_size)
+                self.inner = inner
+                self.fail_reads = 0
+                self.fail_writes = 0
+
+            def create(self, name):
+                self.inner.create(name)
+
+            def delete(self, name):
+                self.inner.delete(name)
+
+            def exists(self, name):
+                return self.inner.exists(name)
+
+            def list_files(self):
+                return self.inner.list_files()
+
+            def num_pages(self, name):
+                return self.inner.num_pages(name)
+
+            def clone(self):
+                raise NotImplementedError
+
+            def read(self, name, page_no):
+                if self.fail_reads > 0:
+                    self.fail_reads -= 1
+                    raise TransientIOError("injected read fault")
+                return self.inner.read(name, page_no)
+
+            def write(self, name, page_no, data):
+                if self.fail_writes > 0:
+                    self.fail_writes -= 1
+                    raise TransientIOError("injected write fault")
+                self.inner.write(name, page_no, data)
+
+            def append(self, name, data):
+                return self.inner.append(name, data)
+
+        backend = ScriptedBackend()
+        disk = Disk(
+            backend=backend,
+            model=DiskModel(page_size=64),
+            buffer_pages=buffer_pages,
+        )
+        return disk, backend
+
+    def test_failed_write_does_not_leave_stale_cached_bytes(self):
+        from repro.storage.errors import TransientIOError
+
+        disk, backend = self._disk_with_script()
+        disk.create_file("f")
+        disk.append_page("f", b"old")
+        assert disk.read_page("f", 0).startswith(b"old")  # now cached
+        backend.fail_writes = 1
+        with pytest.raises(TransientIOError):
+            disk.write_page("f", 0, b"new")
+        # The write failed before reaching the store; the pool must fall
+        # back to the backend's (old) truth, not a stale cache entry.
+        assert disk.read_page("f", 0).startswith(b"old")
+        disk.write_page("f", 0, b"new")  # retried write goes through
+        assert disk.read_page("f", 0).startswith(b"new")
+
+    def test_failed_recache_after_write_leaves_page_uncached(self):
+        disk, backend = self._disk_with_script()
+        disk.create_file("f")
+        disk.append_page("f", b"old")
+        backend.fail_reads = 1  # the post-write refresh read will fail
+        disk.write_page("f", 0, b"new")  # the write itself succeeds
+        assert disk.buffer_pool.get("f", 0) is None  # no stale entry
+        assert disk.read_page("f", 0).startswith(b"new")  # fresh fetch
+
+    def test_failed_read_invalidates_instead_of_caching(self):
+        from repro.storage.errors import TransientIOError
+
+        disk, backend = self._disk_with_script()
+        disk.create_file("f")
+        disk.append_page("f", b"data")
+        disk.clear_cache()
+        backend.fail_reads = 1
+        with pytest.raises(TransientIOError):
+            disk.read_page("f", 0)
+        assert disk.buffer_pool.get("f", 0) is None
+        assert disk.read_page("f", 0).startswith(b"data")
+
+    def test_failed_run_read_invalidates_the_failing_page(self):
+        from repro.storage.errors import TransientIOError
+
+        disk, backend = self._disk_with_script()
+        disk.create_file("f")
+        for index in range(4):
+            disk.append_page("f", b"p%d" % index)
+        disk.clear_cache()
+        backend.fail_reads = 1  # the run aborts on its first page
+        with pytest.raises(TransientIOError):
+            disk.read_run("f", 0, 4)
+        for page_no in range(4):
+            assert disk.buffer_pool.get("f", page_no) is None
+        assert [bytes(p[:2]) for p in disk.read_run("f", 0, 4)] == [
+            b"p0",
+            b"p1",
+            b"p2",
+            b"p3",
+        ]

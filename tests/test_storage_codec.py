@@ -48,8 +48,9 @@ class TestFixedRecordCodec:
 
 
 class TestPagePacking:
-    def test_records_per_page_accounts_for_header(self, int_codec):
-        assert records_per_page(int_codec.record_size, 84) == 10  # (84 - 4) / 8
+    def test_records_per_page_accounts_for_header_and_trailer(self, int_codec):
+        # 4-byte count header + 4-byte checksum trailer: (84 - 4 - 4) / 8.
+        assert records_per_page(int_codec.record_size, 84) == 9
 
     def test_record_too_large_for_page(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,174 @@
+"""Unit tests for the crash-consistent manifest journal."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.storage.errors import SimulatedCrash
+from repro.storage.journal import RECORD_HEADER, ManifestJournal
+
+
+def manifest(n: int) -> dict:
+    return {"version": 1, "commit": n, "payload": list(range(n))}
+
+
+class TestCommitAndRead:
+    def test_empty_journal_reads_none(self, tmp_path):
+        journal = ManifestJournal(tmp_path / "j.log")
+        assert not journal.exists()
+        assert journal.read_last() is None
+        assert list(journal.records()) == []
+
+    def test_last_commit_wins(self, tmp_path):
+        journal = ManifestJournal(tmp_path / "j.log")
+        for n in range(5):
+            journal.commit(manifest(n))
+        assert journal.read_last() == manifest(4)
+        assert [r["commit"] for r in journal.records()] == [0, 1, 2, 3, 4]
+
+    def test_reopened_journal_sees_committed_records(self, tmp_path):
+        path = tmp_path / "j.log"
+        ManifestJournal(path).commit(manifest(7))
+        assert ManifestJournal(path).read_last() == manifest(7)
+
+    def test_rejects_bad_compact_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            ManifestJournal(tmp_path / "j.log", compact_every=0)
+
+
+class TestTornAndCorruptTails:
+    def test_torn_tail_discarded(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = ManifestJournal(path)
+        journal.commit(manifest(1))
+        journal.commit(manifest(2))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])  # tear the last record mid-payload
+        assert ManifestJournal(path).read_last() == manifest(1)
+
+    def test_torn_header_discarded(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = ManifestJournal(path)
+        journal.commit(manifest(1))
+        with path.open("ab") as handle:
+            handle.write(b"\x05")  # lone byte: not even a full header
+        assert ManifestJournal(path).read_last() == manifest(1)
+
+    def test_corrupt_record_and_everything_after_discarded(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = ManifestJournal(path)
+        journal.commit(manifest(1))
+        offset_second = path.stat().st_size
+        journal.commit(manifest(2))
+        journal.commit(manifest(3))
+        blob = bytearray(path.read_bytes())
+        blob[offset_second + RECORD_HEADER.size] ^= 0xFF  # flip in record 2
+        path.write_bytes(bytes(blob))
+        assert ManifestJournal(path).read_last() == manifest(1)
+
+    def test_garbage_length_prefix_discarded(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = ManifestJournal(path)
+        journal.commit(manifest(1))
+        with path.open("ab") as handle:
+            handle.write(struct.pack("<II", 2**30, 0))  # absurd length
+        assert ManifestJournal(path).read_last() == manifest(1)
+
+
+class TestCompaction:
+    def test_auto_compaction_bounds_the_file(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = ManifestJournal(path, compact_every=4)
+        sizes = []
+        for n in range(12):
+            journal.commit(manifest(3))
+            sizes.append(path.stat().st_size)
+        single = len(ManifestJournal._encode(manifest(3)))
+        # Every 4th commit collapses the file back to one record.
+        assert sizes[3] == single and sizes[7] == single and sizes[11] == single
+        assert max(sizes) <= 4 * single
+        assert journal.read_last() == manifest(3)
+
+    def test_explicit_rewrite(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = ManifestJournal(path)
+        for n in range(6):
+            journal.commit(manifest(n))
+        journal.rewrite(manifest(99))
+        assert path.stat().st_size == len(ManifestJournal._encode(manifest(99)))
+        assert [r["commit"] for r in journal.records()] == [99]
+
+
+def crash_at(point_to_crash):
+    def hook(point):
+        if point == point_to_crash:
+            raise SimulatedCrash(point)
+
+    return hook
+
+
+class TestCrashPoints:
+    def test_crash_before_commit_keeps_previous(self, tmp_path):
+        path = tmp_path / "j.log"
+        ManifestJournal(path).commit(manifest(1))
+        journal = ManifestJournal(path, crash_hook=crash_at("journal.commit.start"))
+        with pytest.raises(SimulatedCrash):
+            journal.commit(manifest(2))
+        assert ManifestJournal(path).read_last() == manifest(1)
+
+    def test_crash_mid_commit_persists_torn_record(self, tmp_path):
+        path = tmp_path / "j.log"
+        ManifestJournal(path).commit(manifest(1))
+        size_before = path.stat().st_size
+        journal = ManifestJournal(path, crash_hook=crash_at("journal.commit.torn"))
+        with pytest.raises(SimulatedCrash):
+            journal.commit(manifest(2))
+        assert path.stat().st_size > size_before  # the torn prefix landed
+        assert ManifestJournal(path).read_last() == manifest(1)
+
+    def test_crash_after_commit_keeps_new_record(self, tmp_path):
+        path = tmp_path / "j.log"
+        ManifestJournal(path).commit(manifest(1))
+        journal = ManifestJournal(path, crash_hook=crash_at("journal.commit.end"))
+        with pytest.raises(SimulatedCrash):
+            journal.commit(manifest(2))
+        assert ManifestJournal(path).read_last() == manifest(2)
+
+    @pytest.mark.parametrize(
+        "point", ["journal.rewrite.start", "journal.rewrite.before_rename"]
+    )
+    def test_crash_before_rename_keeps_old_journal(self, tmp_path, point):
+        path = tmp_path / "j.log"
+        old = ManifestJournal(path)
+        for n in range(3):
+            old.commit(manifest(n))
+        journal = ManifestJournal(path, crash_hook=crash_at(point))
+        with pytest.raises(SimulatedCrash):
+            journal.rewrite(manifest(99))
+        assert [r["commit"] for r in ManifestJournal(path).records()] == [0, 1, 2]
+
+    def test_crash_after_rename_keeps_new_journal(self, tmp_path):
+        path = tmp_path / "j.log"
+        old = ManifestJournal(path)
+        for n in range(3):
+            old.commit(manifest(n))
+        journal = ManifestJournal(path, crash_hook=crash_at("journal.rewrite.end"))
+        with pytest.raises(SimulatedCrash):
+            journal.rewrite(manifest(99))
+        assert [r["commit"] for r in ManifestJournal(path).records()] == [99]
+
+    def test_commit_after_torn_crash_recovers_cleanly(self, tmp_path):
+        # A process that crashed mid-commit, restarted, and committed again
+        # must not resurrect the torn tail.  read_last() skips it, and the
+        # next compaction truncates it away.
+        path = tmp_path / "j.log"
+        journal = ManifestJournal(path, crash_hook=crash_at("journal.commit.torn"))
+        with pytest.raises(SimulatedCrash):
+            journal.commit(manifest(1))
+        reopened = ManifestJournal(path, compact_every=2)
+        reopened.commit(manifest(2))  # appended after the torn bytes...
+        assert reopened.read_last() is None or reopened.read_last() == manifest(2)
+        reopened.commit(manifest(3))  # ...compaction heals the file
+        assert [r["commit"] for r in ManifestJournal(path).records()] == [3]
