@@ -148,6 +148,10 @@ SEQ_SPEEDUP_MIN = float(os.environ.get("REPRO_SEQ_SPEEDUP_MIN", "1.5"))
 #: above there is no meaningful host-independent default.  Unset or
 #: non-positive means "measure and report, assert correctness only".
 PAR_SPEEDUP_MIN = float(os.environ.get("REPRO_PAR_SPEEDUP_MIN", "0"))
+#: The process-pool bar is opt-in the same way (``REPRO_PROC_SPEEDUP_MIN=2``
+#: on CI's multi-core parallel smoke): process fan-out pays fork/IPC
+#: overhead that only multi-core decode+filter work can amortise.
+PROC_SPEEDUP_MIN = float(os.environ.get("REPRO_PROC_SPEEDUP_MIN", "0"))
 PAR_WORKERS = 4
 PAR_BUFFER_SHARDS = 8
 #: The epoch-overlap bar is likewise opt-in and, unlike the speedup bars,
@@ -324,6 +328,50 @@ def test_parallel_batch_speedup(batch_suite, batch_workload):
         assert speedup >= PAR_SPEEDUP_MIN, (
             f"parallel speedup {speedup:.2f}x at workers={PAR_WORKERS} is below "
             f"the {PAR_SPEEDUP_MIN:g}x bar (REPRO_PAR_SPEEDUP_MIN)"
+        )
+
+
+@pytest.mark.benchmark(group="micro-batch")
+def test_process_batch_speedup(batch_suite, batch_workload):
+    """workers=4 process-pool execution vs workers=1, same protocol.
+
+    Always checks correctness (identical per-query hit counts); the
+    wall-clock bar is enforced only when ``REPRO_PROC_SPEEDUP_MIN`` is
+    set — the process pool escapes the GIL entirely, but forking,
+    page staging and hit serialization only pay off on multi-core hosts
+    with real decode + filter work per batch.
+    """
+    engines = {
+        workers: SpaceOdyssey(
+            batch_suite.fork(buffer_shards=PAR_BUFFER_SHARDS).catalog
+        )
+        for workers in (1, PAR_WORKERS)
+    }
+
+    def run_pass(workers: int) -> list[int]:
+        counts: list[int] = []
+        for offset in range(0, len(batch_workload), BATCH_SIZE):
+            result = engines[workers].query_batch(
+                batch_workload[offset : offset + BATCH_SIZE],
+                workers=workers,
+                executor="process",
+            )
+            counts.extend(result.hit_counts())
+        return counts
+
+    assert run_pass(1) == run_pass(PAR_WORKERS)
+    serial_seconds = best_of(3, lambda: timed(lambda: run_pass(1)))
+    process_seconds = best_of(3, lambda: timed(lambda: run_pass(PAR_WORKERS)))
+    speedup = serial_seconds / process_seconds
+    print(
+        f"\nprocess batch({BATCH_SIZE}): workers=1 {serial_seconds * 1e3:.1f} ms, "
+        f"workers={PAR_WORKERS} {process_seconds * 1e3:.1f} ms, "
+        f"speedup {speedup:.2f}x (cpus={os.cpu_count()})"
+    )
+    if PROC_SPEEDUP_MIN > 0:
+        assert speedup >= PROC_SPEEDUP_MIN, (
+            f"process speedup {speedup:.2f}x at workers={PAR_WORKERS} is below "
+            f"the {PROC_SPEEDUP_MIN:g}x bar (REPRO_PROC_SPEEDUP_MIN)"
         )
 
 

@@ -19,7 +19,8 @@ One snapshot covers, per phase:
 * **steady_parallel** — a worker-count sweep of the same batched workload
   through ``query_batch(..., workers=K)`` over a sharded buffer pool, one
   entry per requested ``K`` (``workers=1`` is the serial-batch baseline
-  the parallel speedup is computed against);
+  the parallel speedup is computed against); ``--executor process``
+  drives the sweep through the GIL-free process pool instead of threads;
 * **concurrent_batches** — the epoch-overlap phase: the batched workload
   through ``query_batch(..., snapshot=True)`` once from a single thread
   and once from two threads concurrently (each thread runs the full
@@ -46,7 +47,10 @@ One snapshot covers, per phase:
 
 plus the derived speedups (columnar vs scalar, batch vs scalar, best
 parallel worker count vs ``workers=1``) and page counts of every on-disk
-structure after convergence.
+structure after convergence.  ``--repeats N`` re-times each steady phase
+N times and attaches ``{mean,std,min,max}_seconds`` stats next to the
+legacy best-of ``wall_seconds``; ``--compression zlib`` builds the suite
+on compressed raw files so decode overhead is part of the trajectory.
 """
 
 from __future__ import annotations
@@ -98,6 +102,27 @@ def timed(fn) -> float:
 def best_of(repeats: int, fn) -> float:
     """The fastest of ``repeats`` calls of a timing function."""
     return min(fn() for _ in range(max(1, repeats)))
+
+
+def timing_stats(repeats: int, fn) -> dict[str, Any]:
+    """Mean ± std (and extremes) of ``repeats`` calls of a timing function.
+
+    The workload generators are seeded, so repeated passes measure the
+    identical query sequence — the spread is scheduler and allocator
+    noise, which is exactly what the ``std_seconds`` field quantifies.
+    Snapshots keep reporting best-of in their legacy ``wall_seconds``
+    keys (robust to one-sided noise) and attach these stats alongside.
+    """
+    runs = [fn() for _ in range(max(1, repeats))]
+    mean = sum(runs) / len(runs)
+    variance = sum((run - mean) ** 2 for run in runs) / len(runs)
+    return {
+        "runs": len(runs),
+        "mean_seconds": mean,
+        "std_seconds": variance**0.5,
+        "min_seconds": min(runs),
+        "max_seconds": max(runs),
+    }
 
 
 def sequential_pass(odyssey: SpaceOdyssey, workload) -> None:
@@ -358,6 +383,8 @@ def run_perf_snapshot(
     serve_max_delay_ms: float = 5.0,
     serve_workers: int | None = None,
     faults: bool = False,
+    compression: str | None = None,
+    executor: str = "thread",
 ) -> dict[str, Any]:
     """Measure one perf snapshot and return it as a JSON-ready dict.
 
@@ -391,9 +418,22 @@ def run_perf_snapshot(
     :func:`measure_fault_tolerance`): a seeded fault campaign under the
     retry layer plus a crash/recovery drill, recording retry, corruption
     and recovery counters in the snapshot.
+
+    ``compression`` compresses the raw dataset files' pages at build time
+    (``"zlib"``, or ``"zstd"`` when available); every fork then reads the
+    same compressed bytes, so the steady-state phases measure the decode
+    cost honestly and ``phases["build"]["raw_pages"]`` shows the page
+    savings.  ``executor`` selects the pool flavour of the worker sweep —
+    ``"process"`` runs it through the GIL-free process executor.
+
+    Every steady phase and sweep entry carries a ``stats`` block (mean ±
+    std over the seed-repeated passes, see :func:`timing_stats`) next to
+    its legacy best-of ``wall_seconds``.
     """
     scale = get_scale(scale)
     config = config or OdysseyConfig()
+    if executor not in ("thread", "process"):
+        raise ValueError("executor must be 'thread' or 'process'")
     phases: dict[str, dict[str, Any]] = {}
 
     suite_holder: list[BenchmarkSuite] = []
@@ -406,6 +446,7 @@ def run_perf_snapshot(
                 seed=scale.seed,
                 buffer_pages=0,
                 model=scale.disk_model(),
+                compression=compression,
             )
         )
 
@@ -416,6 +457,7 @@ def run_perf_snapshot(
         "datasets": scale.n_datasets,
         "objects": suite.catalog.total_objects(),
         "raw_pages": suite.catalog.total_pages(),
+        "compression": compression,
     }
 
     workload = list(
@@ -443,22 +485,25 @@ def run_perf_snapshot(
         "queries": len(workload),
     }
 
-    # Warm each engine once more, then time best-of passes.
+    # Warm each engine once more, then time seed-repeated passes.
     for engine in (scalar_engine, columnar_engine):
         sequential_pass(engine, workload)
-    scalar_seconds = best_of(
+    scalar_stats = timing_stats(
         repeats, lambda: timed(lambda: sequential_pass(scalar_engine, workload))
     )
-    columnar_seconds = best_of(
+    scalar_seconds = scalar_stats["min_seconds"]
+    columnar_stats = timing_stats(
         repeats, lambda: timed(lambda: sequential_pass(columnar_engine, workload))
     )
+    columnar_seconds = columnar_stats["min_seconds"]
 
     def run_batched() -> None:
         for start in range(0, len(workload), batch_size):
             batch_engine.query_batch(workload[start : start + batch_size])
 
     run_batched()
-    batch_seconds = best_of(repeats, lambda: timed(run_batched))
+    batch_stats = timing_stats(repeats, lambda: timed(run_batched))
+    batch_seconds = batch_stats["min_seconds"]
 
     # Parallel-batch worker sweep: each worker count gets its own engine
     # (converged identically — the oracle guarantees state equality) over
@@ -470,32 +515,38 @@ def run_perf_snapshot(
 
         def run_parallel(k: int = worker_count, odyssey: SpaceOdyssey = engine) -> None:
             for start in range(0, len(workload), batch_size):
-                odyssey.query_batch(workload[start : start + batch_size], workers=k)
+                odyssey.query_batch(
+                    workload[start : start + batch_size], workers=k, executor=executor
+                )
 
         run_parallel()  # converge + warm
-        seconds = best_of(repeats, lambda: timed(run_parallel))
+        stats = timing_stats(repeats, lambda: timed(run_parallel))
+        seconds = stats["min_seconds"]
         sweep.append(
             {
                 "workers": worker_count,
                 "wall_seconds": seconds,
                 "queries_per_second": len(workload) / seconds if seconds > 0 else None,
+                "stats": stats,
             }
         )
 
-    for name, seconds in (
-        ("steady_scalar", scalar_seconds),
-        ("steady_columnar", columnar_seconds),
-        ("steady_batch", batch_seconds),
+    for name, seconds, stats in (
+        ("steady_scalar", scalar_seconds, scalar_stats),
+        ("steady_columnar", columnar_seconds, columnar_stats),
+        ("steady_batch", batch_seconds, batch_stats),
     ):
         phases[name] = {
             "wall_seconds": seconds,
             "queries_per_second": len(workload) / seconds if seconds > 0 else None,
+            "stats": stats,
         }
     phases["steady_batch"]["batch_size"] = batch_size
     if sweep:
         phases["steady_parallel"] = {
             "batch_size": batch_size,
             "buffer_shards": buffer_shards,
+            "executor": executor,
             "sweep": sweep,
         }
 
@@ -576,13 +627,15 @@ def run_perf_snapshot(
 
     return {
         "kind": "repro-perf-snapshot",
-        "version": 1,
+        "version": 2,
         "scale": scale.name,
         "seed": seed,
         "n_queries": n_queries,
         "batch_size": batch_size,
         "repeats": repeats,
         "workers": list(workers),
+        "executor": executor,
+        "compression": compression,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "platform": {
             "python": platform.python_version(),
@@ -737,11 +790,25 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
     """A short human-readable digest of one snapshot."""
     phases = snapshot["phases"]
     speedups = snapshot["speedups"]
+    def _stats_suffix(block: dict[str, Any]) -> str:
+        stats = block.get("stats")
+        if not stats:
+            return ""
+        return (
+            f"   {stats['mean_seconds']:.3f} ± {stats['std_seconds']:.3f} s "
+            f"over {stats['runs']}"
+        )
+
     lines = [
         f"perf snapshot — scale: {snapshot['scale']}, "
-        f"{snapshot['n_queries']} queries, batch size {snapshot['batch_size']}",
+        f"{snapshot['n_queries']} queries, batch size {snapshot['batch_size']}"
+        + (
+            f", compression {snapshot['compression']}"
+            if snapshot.get("compression")
+            else ""
+        ),
         "",
-        f"{'phase':<18}{'wall seconds':>14}{'queries/s':>12}",
+        f"{'phase':<18}{'wall seconds':>14}{'queries/s':>12}   mean ± std",
     ]
     for name in ("build", "first_touch", "steady_scalar", "steady_columnar", "steady_batch"):
         phase = phases[name]
@@ -751,13 +818,17 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
         lines.append(
             f"{name:<18}{phase['wall_seconds']:>14.3f}"
             + (f"{qps:>12.1f}" if qps is not None else f"{'-':>12}")
+            + _stats_suffix(phase)
         )
-    for entry in phases.get("steady_parallel", {}).get("sweep", []):
-        name = f"parallel w={entry['workers']}"
+    parallel_phase = phases.get("steady_parallel", {})
+    executor = parallel_phase.get("executor", "thread")
+    for entry in parallel_phase.get("sweep", []):
+        name = f"{executor} w={entry['workers']}"
         qps = entry.get("queries_per_second")
         lines.append(
             f"{name:<18}{entry['wall_seconds']:>14.3f}"
             + (f"{qps:>12.1f}" if qps is not None else f"{'-':>12}")
+            + _stats_suffix(entry)
         )
     def _ratio(value: float | None) -> str:
         return f"{value:.2f}x" if value is not None else "n/a"

@@ -169,7 +169,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeats",
         type=_positive_int,
         default=3,
-        help="best-of repeats per steady-state pass (default: 3)",
+        help=(
+            "seed-repeated passes per steady-state phase; the snapshot "
+            "records best-of in wall_seconds plus mean ± std in each "
+            "phase's stats block (default: 3)"
+        ),
     )
     bench.add_argument(
         "--workers",
@@ -179,6 +183,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated worker counts for the parallel-batch sweep "
             "recorded in the snapshot (default: 1,2,4)"
+        ),
+    )
+    bench.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "pool flavour of the worker sweep: 'thread' shares the "
+            "engine's memory, 'process' decodes and filters pages in "
+            "worker processes outside the GIL (default: thread)"
+        ),
+    )
+    bench.add_argument(
+        "--compression",
+        choices=("zlib", "zstd"),
+        default=None,
+        help=(
+            "compress the raw dataset files' pages at build time; every "
+            "phase then measures reads of compressed pages (default: off)"
         ),
     )
     bench.add_argument(
@@ -374,6 +397,8 @@ def main(argv: list[str] | None = None) -> int:
             serve_rate_qps=args.serve_rate,
             serve_clients=args.serve_clients,
             faults=args.faults,
+            compression=args.compression,
+            executor=args.executor,
         )
         print(perf.format_snapshot_summary(snapshot))
         path = perf.save_snapshot(

@@ -353,20 +353,22 @@ class BatchExecutor:
             for combination in batch.groups()
         }
 
-    def _filter_one_query(
+    def _query_plan(
         self,
         query: BatchQuery,
         needed0: dict[tuple[int, int], list[PartitionNode]],
         decisions: dict[frozenset[int], RoutingDecision],
-        read_set: BatchReadSet,
-    ) -> tuple[list[SpatialObject], int]:
-        """One query's retrieval and filtering against the start-of-batch trees.
+    ) -> list[tuple[int, PagedFile[SpatialObject], StoredRun]]:
+        """One query's read plan: ``(dataset_id, file, run)`` in collect order.
 
-        Returns ``(hits, records examined)``.  The plan construction, the
-        on-disk-order sorting and the per-group collect order are all
-        deterministic functions of ``(query, needed0, decisions)``, so the
-        hits come back in the same order no matter which thread — or how
-        many threads — execute the queries of a batch.
+        The plan construction and the on-disk-order sorting are
+        deterministic functions of ``(query, needed0, decisions)``:
+        merge-file segments first (sorted by segment start), then
+        individual partition runs (sorted by dataset, then run start).
+        Both the serial/thread executors (which read the plan through a
+        :class:`BatchReadSet`) and the process executor (which stages the
+        plan's pages for its workers) consume this one plan builder, so
+        every engine reads the same groups in the same order.
         """
         decision = decisions[query.requested]
         info = decision.merge_info
@@ -385,17 +387,7 @@ class BatchExecutor:
                     individual_plan.append(
                         (dataset_id, leaf, self._leaf_run(dataset_id, leaf))
                     )
-        q_lo, q_hi = box_to_arrays(query.box)
-        hits: list[SpatialObject] = []
-        count = 0
-
-        def _collect(group: DecodedGroup, dataset_id: int) -> int:
-            mask = (group.dataset_ids == dataset_id) & intersect_mask(
-                q_lo, q_hi, group.lo, group.hi
-            )
-            hits.extend(group.materialize(mask))
-            return group.n_records
-
+        entries: list[tuple[int, PagedFile[SpatialObject], StoredRun]] = []
         if merge_plan and info is not None:
             merge_file = self._merge_file(info)
             merge_plan.sort(
@@ -404,14 +396,40 @@ class BatchExecutor:
                 )
             )
             for dataset_id, leaf in merge_plan:
-                group = read_set.read(merge_file, info.segment(leaf.key, dataset_id))
-                count += _collect(group, dataset_id)
+                entries.append(
+                    (dataset_id, merge_file, info.segment(leaf.key, dataset_id))
+                )
         individual_plan.sort(key=lambda item: (item[0], self._run_start(item[2])))
         for dataset_id, leaf, run in individual_plan:
             if run is None or run.n_records == 0:
                 continue
-            group = read_set.read(self._tree_file(dataset_id), run)
-            count += _collect(group, dataset_id)
+            entries.append((dataset_id, self._tree_file(dataset_id), run))
+        return entries
+
+    def _filter_one_query(
+        self,
+        query: BatchQuery,
+        needed0: dict[tuple[int, int], list[PartitionNode]],
+        decisions: dict[frozenset[int], RoutingDecision],
+        read_set: BatchReadSet,
+    ) -> tuple[list[SpatialObject], int]:
+        """One query's retrieval and filtering against the start-of-batch trees.
+
+        Returns ``(hits, records examined)``.  The plan and the per-group
+        collect order are deterministic (see :meth:`_query_plan`), so the
+        hits come back in the same order no matter which thread — or how
+        many threads — execute the queries of a batch.
+        """
+        q_lo, q_hi = box_to_arrays(query.box)
+        hits: list[SpatialObject] = []
+        count = 0
+        for dataset_id, file, run in self._query_plan(query, needed0, decisions):
+            group = read_set.read(file, run)
+            mask = (group.dataset_ids == dataset_id) & intersect_mask(
+                q_lo, q_hi, group.lo, group.hi
+            )
+            hits.extend(group.materialize(mask))
+            count += group.n_records
         return hits, count
 
     def _read_and_filter(

@@ -87,6 +87,16 @@ class OdysseyConfig:
         writer phase of batch N).  Epoch bookkeeping changes no charged
         I/O, no results and no on-disk bytes; set to false to strip the
         machinery entirely (snapshot reads then raise ``RuntimeError``).
+    batch_executor:
+        Implementation switch, not a paper parameter: the default executor
+        ``query_batch(..., workers=K)`` fans out on when no per-call
+        ``executor=`` is given.  ``"thread"`` (the default) runs the
+        thread-pool executor; ``"process"`` runs the process-pool executor
+        (:class:`~repro.core.parallel.ProcessExecutor`) whose workers
+        decode and filter pages over shared-memory/mmap buffers outside
+        the GIL.  Both are bit-identical to the serial batch engine in
+        results, reports, adaptive state and on-disk bytes (enforced by
+        ``tests/test_engine_fuzz.py``).
     """
 
     refinement_threshold: float = 4.0
@@ -102,6 +112,7 @@ class OdysseyConfig:
     adaptive_merge_threshold: bool = False
     columnar: bool = True
     snapshot_reads: bool = True
+    batch_executor: str = "thread"
 
     def __post_init__(self) -> None:
         if self.refinement_threshold <= 0:
@@ -120,6 +131,8 @@ class OdysseyConfig:
             raise ValueError("max_depth must be >= 1")
         if self.merge_partition_min_hits < 1:
             raise ValueError("merge_partition_min_hits must be >= 1")
+        if self.batch_executor not in ("thread", "process"):
+            raise ValueError("batch_executor must be 'thread' or 'process'")
 
     def splits_per_dimension(self, dimension: int) -> int:
         """Per-dimension split count such that ``splits**dimension == ppl``.

@@ -223,6 +223,7 @@ class SpaceOdyssey(MultiDatasetIndex):
         *,
         workers: int | None = None,
         snapshot: bool = False,
+        executor: str | None = None,
     ) -> "BatchResult":
         """Execute a batch of range queries together (see :mod:`repro.core.batch`).
 
@@ -248,6 +249,19 @@ class SpaceOdyssey(MultiDatasetIndex):
         bit-identical to ``workers=1``.  Pair it with a sharded buffer
         pool (``Disk(buffer_shards=...)``) on multi-core hosts.
 
+        ``executor="process"`` swaps the thread pool for a *process* pool
+        (:class:`~repro.core.parallel.ProcessExecutor`): workers decode
+        and filter page bytes outside the GIL, reading them zero-copy
+        from an ``mmap`` of the page files (plain filesystem backend) or
+        from a shared-memory staging block the parent fills through the
+        normal charged read path (any other backend).  The deterministic
+        writer replay never leaves the parent process, so this mode is
+        bit-identical to the others as well.  ``executor=None`` defers
+        to ``OdysseyConfig.batch_executor`` (default ``"thread"``).
+        Process workers pay a real serialization cost per hit, so this
+        mode wins when decode + filter dominate — large pages,
+        compression enabled, or CPU-heavy filtering.
+
         ``snapshot=True`` executes through the epoch-snapshot engine
         (:mod:`repro.core.epoch`, requires
         ``OdysseyConfig(snapshot_reads=True)``, the default): the read
@@ -262,7 +276,7 @@ class SpaceOdyssey(MultiDatasetIndex):
         fans this batch's reads across ``K`` threads.
         """
         return self._processor.execute_batch(
-            queries, workers=workers, snapshot=snapshot
+            queries, workers=workers, snapshot=snapshot, executor=executor
         )
 
     def prepare_batch(self, queries, *, workers: int | None = None):

@@ -45,14 +45,21 @@ class Dataset:
         name: str,
         objects: Iterable[SpatialObject],
         universe: Box,
+        compression: str | None = None,
     ) -> "Dataset":
         """Write ``objects`` sequentially into a new raw file and register it.
 
-        Raises ``ValueError`` if an object lies outside ``universe`` or
-        carries a different ``dataset_id`` — raw files are per dataset.
+        ``compression`` (see :data:`repro.storage.codec.COMPRESSION_CODECS`)
+        compresses the raw file's pages as they are written — raw dataset
+        files are written once and only ever read back, the pattern page
+        compression is built for.  Raises ``ValueError`` if an object lies
+        outside ``universe`` or carries a different ``dataset_id`` — raw
+        files are per dataset.
         """
         codec = spatial_object_codec(universe.dimension)
-        file: PagedFile[SpatialObject] = PagedFile(disk, raw_file_name(name), codec)
+        file: PagedFile[SpatialObject] = PagedFile(
+            disk, raw_file_name(name), codec, compression=compression
+        )
         if file.exists():
             raise ValueError(f"dataset file already exists for {name!r}")
         count = 0

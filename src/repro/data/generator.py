@@ -107,7 +107,12 @@ class _BaseGenerator:
         raise NotImplementedError
 
     def create_dataset(
-        self, disk: Disk, dataset_id: int, name: str, count: int
+        self,
+        disk: Disk,
+        dataset_id: int,
+        name: str,
+        count: int,
+        compression: str | None = None,
     ) -> Dataset:
         """Generate ``count`` objects and persist them as a raw dataset."""
         return Dataset.create(
@@ -116,6 +121,7 @@ class _BaseGenerator:
             name=name,
             objects=self.objects(dataset_id, count),
             universe=self._universe,
+            compression=compression,
         )
 
 
@@ -269,6 +275,7 @@ class NeuroscienceDatasetGenerator(_BaseGenerator):
         n_datasets: int,
         objects_per_dataset: int,
         name_prefix: str = "neuro",
+        compression: str | None = None,
     ) -> list[Dataset]:
         """Create ``n_datasets`` raw datasets sharing this generator's tissue."""
         datasets = []
@@ -279,6 +286,7 @@ class NeuroscienceDatasetGenerator(_BaseGenerator):
                     dataset_id=dataset_id,
                     name=f"{name_prefix}_{dataset_id:02d}",
                     count=objects_per_dataset,
+                    compression=compression,
                 )
             )
         return datasets

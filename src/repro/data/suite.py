@@ -98,6 +98,7 @@ def build_benchmark_suite(
     buffer_pages: int = 4096,
     model: DiskModel | None = None,
     buffer_shards: int = 1,
+    compression: str | None = None,
 ) -> BenchmarkSuite:
     """Create the multi-dataset benchmark universe used by the experiments.
 
@@ -106,6 +107,11 @@ def build_benchmark_suite(
     every approach (the paper caps all techniques at the same 1 GB budget);
     with 4 KB pages the default of 4096 pages is a 16 MB budget, which keeps
     the same "data much larger than memory" regime at the reduced scale.
+    ``compression`` compresses the raw dataset files' pages as they are
+    written (``"zlib"``, or ``"zstd"`` when the interpreter ships a zstd
+    module); since every fork shares the master's bytes, all engines read
+    the same compressed pages and the per-page codec header keeps old
+    uncompressed files readable side by side.
     """
     if n_datasets < 1:
         raise ValueError("n_datasets must be >= 1")
@@ -119,6 +125,7 @@ def build_benchmark_suite(
         disk=disk,
         n_datasets=n_datasets,
         objects_per_dataset=objects_per_dataset,
+        compression=compression,
     )
     catalog = DatasetCatalog(datasets)
     return BenchmarkSuite(disk=disk, catalog=catalog, generator=generator, seed=seed)

@@ -232,7 +232,12 @@ class QueryService:
         service-level retry.
     retry_backoff_ms:
         Base delay of the exponential backoff between service-level
-        retries (doubled per attempt, capped at 100 ms).
+        retries (doubled per attempt, capped at ``retry_backoff_max_ms``).
+    retry_backoff_max_ms:
+        Ceiling of the exponential backoff.  The wait itself is
+        interruptible: it is an ``Event.wait``, so an abort
+        (``close(drain=False)``) wakes the dispatcher immediately
+        instead of letting it finish the full delay.
     breaker_threshold:
         Open the circuit breaker after this many *consecutive* batches
         ended with failed queries; while open, queries are shed with
@@ -256,6 +261,7 @@ class QueryService:
         pipeline: bool | None = None,
         batch_retries: int = 2,
         retry_backoff_ms: float = 1.0,
+        retry_backoff_max_ms: float = 100.0,
         breaker_threshold: int | None = 5,
         breaker_cooldown_ms: float = 100.0,
         sleep=time.sleep,
@@ -272,6 +278,8 @@ class QueryService:
             raise ValueError("batch_retries must be non-negative")
         if retry_backoff_ms < 0:
             raise ValueError("retry_backoff_ms must be non-negative")
+        if retry_backoff_max_ms < 0:
+            raise ValueError("retry_backoff_max_ms must be non-negative")
         if breaker_threshold is not None and breaker_threshold < 1:
             raise ValueError("breaker_threshold must be >= 1 (or None)")
         if breaker_cooldown_ms < 0:
@@ -289,9 +297,14 @@ class QueryService:
         self._workers = workers
         self._batch_retries = batch_retries
         self._retry_backoff_s = retry_backoff_ms / 1000.0
+        self._retry_backoff_max_s = retry_backoff_max_ms / 1000.0
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown_s = breaker_cooldown_ms / 1000.0
-        self._sleep = sleep
+        # Backoff waits block on this event rather than sleeping, so an
+        # abort (close(drain=False)) wakes the dispatcher mid-backoff.
+        # An injected ``sleep`` stub (tests) is honoured as-is.
+        self._abort_event = threading.Event()
+        self._sleep = self._abort_event.wait if sleep is time.sleep else sleep
         # Breaker state: touched only by the executing thread (dispatcher
         # or writer) except for the read-only `healthy` property, which
         # tolerates a stale glimpse.
@@ -400,6 +413,7 @@ class QueryService:
             if first_close:
                 if not drain:
                     self._abort = True
+                    self._abort_event.set()
                 self._queue.put(_SHUTDOWN)
         self._dispatcher.join(timeout)
         if self._dispatcher.is_alive():
@@ -566,7 +580,16 @@ class QueryService:
                     raise
                 with self._stats_lock:
                     self._stats = _bump(self._stats, retries=1)
-                self._sleep(min(self._retry_backoff_s * (2**attempt), 0.1))
+                self._sleep(
+                    min(
+                        self._retry_backoff_s * (2**attempt),
+                        self._retry_backoff_max_s,
+                    )
+                )
+                if self._abort_event.is_set():
+                    # Aborted mid-backoff: surface the original failure
+                    # instead of burning more attempts during shutdown.
+                    raise
                 attempt += 1
 
     def _breaker_is_open(self) -> bool:

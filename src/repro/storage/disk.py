@@ -130,6 +130,31 @@ class Disk:
         """Page size in bytes."""
         return self._model.page_size
 
+    def mmap_descriptor(self, name: str) -> tuple[str, int] | None:
+        """``(path, page_size)`` for zero-copy page access, if available.
+
+        The process-parallel executor ships this descriptor to its worker
+        processes, which ``mmap`` the file read-only and decode pages
+        straight over the mapping.  Only a *plain*
+        :class:`~repro.storage.backend.FileSystemBackend` qualifies:
+        wrapped backends (fault injection, retry layers) must keep every
+        read on the normal :meth:`read_run` path so their semantics are
+        preserved, and in-memory backends have no file to map — those
+        cases return ``None`` and the executor stages page bytes through
+        shared memory instead.  mmap reads bypass the cost accounting and
+        the buffer pool (a documented deviation of the process engine:
+        the simulated I/O trace is already execution-order-dependent for
+        any parallel mode and never feeds back into results or adaptive
+        decisions).
+        """
+        from repro.storage.backend import FileSystemBackend
+
+        if type(self._backend) is not FileSystemBackend:
+            return None
+        if not self.file_exists(name):
+            return None
+        return str(self._backend.page_file_path(name)), self.page_size
+
     @property
     def stats(self) -> IOStats:
         """The cumulative I/O statistics (mutable, shared)."""

@@ -33,11 +33,13 @@ from typing import Generic, Iterable, Iterator, Sequence, TypeVar
 import numpy as np
 
 from repro.storage.codec import (
+    COMPRESSION_CODECS,
     RecordCodec,
     decode_page,
     decode_page_array,
     encode_page,
     paginate_array,
+    paginate_bytes_compressed,
     records_per_page,
 )
 from repro.storage.disk import Disk
@@ -129,16 +131,49 @@ class _PageAllocator:
         return None
 
 
+def _frozen_concat(parts: Sequence[np.ndarray], dtype: np.dtype) -> np.ndarray:
+    """Concatenate decoded page arrays into one *read-only* array.
+
+    Single-page groups come back as read-only ``np.frombuffer`` views
+    straight from the decoded-array cache; multi-page groups concatenate
+    into a fresh buffer, which NumPy makes writable by default.  Freezing
+    that buffer too keeps the whole array surface immutable: the decoded
+    layer's cached views are shared across queries, engines and epochs,
+    and an in-place mutation anywhere must raise instead of silently
+    corrupting everyone's view of the page.
+    """
+    if not parts:
+        records = np.empty(0, dtype=dtype)
+    elif len(parts) == 1:
+        return parts[0]
+    else:
+        records = np.concatenate(parts)
+    records.setflags(write=False)
+    return records
+
+
 class PagedFile(Generic[RecordT]):
     """A named file of record groups on a :class:`~repro.storage.disk.Disk`.
 
     The file is created lazily on the first write if it does not exist.
     """
 
-    def __init__(self, disk: Disk, name: str, codec: RecordCodec[RecordT]) -> None:
+    def __init__(
+        self,
+        disk: Disk,
+        name: str,
+        codec: RecordCodec[RecordT],
+        compression: str | None = None,
+    ) -> None:
+        if compression is not None and compression not in COMPRESSION_CODECS:
+            raise ValueError(
+                f"unsupported compression {compression!r}; available codecs: "
+                f"{', '.join(COMPRESSION_CODECS)}"
+            )
         self._disk = disk
         self._name = name
         self._codec = codec
+        self._compression = compression
         self._dtype: np.dtype | None = getattr(codec, "dtype", None)
         self._records_per_page = records_per_page(codec.record_size, disk.page_size)
 
@@ -168,8 +203,24 @@ class PagedFile(Generic[RecordT]):
 
     @property
     def records_per_page(self) -> int:
-        """Maximum number of records per page."""
+        """Maximum number of records per *uncompressed* page.
+
+        Compressed pages may pack more; this nominal capacity is what the
+        reuse arithmetic of :meth:`write_groups` and :meth:`pages_needed`
+        is based on.
+        """
         return self._records_per_page
+
+    @property
+    def compression(self) -> str | None:
+        """The compression codec newly encoded pages use (``None`` = off).
+
+        Compression applies to the encode path only; reads are always
+        driven by each page's own header flags, so files mixing compressed
+        and uncompressed pages (or written by an older encoder) decode
+        transparently.
+        """
+        return self._compression
 
     def exists(self) -> bool:
         """Whether the file has been created."""
@@ -351,12 +402,7 @@ class PagedFile(Generic[RecordT]):
                 decoded = self._decode_page_cached(extent.start + offset, page_bytes)
                 if len(decoded):
                     parts.append(decoded)
-        if not parts:
-            records = np.empty(0, dtype=dtype)
-        elif len(parts) == 1:
-            records = parts[0]
-        else:
-            records = np.concatenate(parts)
+        records = _frozen_concat(parts, dtype)
         if len(records) < run.n_records:
             raise ValueError(
                 f"group in {self._name!r} is corrupt: expected {run.n_records} "
@@ -387,7 +433,7 @@ class PagedFile(Generic[RecordT]):
             parts = [part for part in parts if len(part)]
             if not parts:
                 continue
-            yield parts[0] if len(parts) == 1 else np.concatenate(parts)
+            yield _frozen_concat(parts, dtype)
 
     def _require_dtype(self) -> np.dtype:
         if self._dtype is None:
@@ -418,12 +464,7 @@ class PagedFile(Generic[RecordT]):
                 decoded = self._decode_page_cached(extent.start + offset, page_bytes)
                 if len(decoded):
                     parts.append(decoded)
-        if not parts:
-            records = np.empty(0, dtype=dtype)
-        elif len(parts) == 1:
-            records = parts[0]
-        else:
-            records = np.concatenate(parts)
+        records = _frozen_concat(parts, dtype)
         if len(records) < run.n_records:
             raise ValueError(
                 f"group in {self._name!r} is corrupt: expected {run.n_records} "
@@ -448,6 +489,11 @@ class PagedFile(Generic[RecordT]):
             self._disk.create_file(self._name)
 
     def _encode_group(self, records: Sequence[RecordT]) -> list[bytes]:
+        if self._compression is not None:
+            packed = b"".join(self._codec.pack(record) for record in records)
+            return paginate_bytes_compressed(
+                packed, self._codec.record_size, self._disk.page_size, self._compression
+            )
         pages: list[bytes] = []
         for start in range(0, len(records), self._records_per_page):
             chunk = records[start : start + self._records_per_page]
@@ -460,5 +506,12 @@ class PagedFile(Generic[RecordT]):
             raise TypeError(
                 f"array dtype {records.dtype} does not match the file's "
                 f"record dtype {dtype}"
+            )
+        if self._compression is not None:
+            return paginate_bytes_compressed(
+                records.tobytes(),
+                self._codec.record_size,
+                self._disk.page_size,
+                self._compression,
             )
         return paginate_array(records, self._disk.page_size)

@@ -1,10 +1,10 @@
-"""Randomized differential fuzz harness: five engines, one truth.
+"""Randomized differential fuzz harness: six engines, one truth.
 
 For each seed, a pseudo-random generator derives an entire scenario —
 suite shape (dimension, dataset count and sizes, buffer pool budget and
 shard count), engine configuration (merge knobs, refinement threshold) and
 workload (length, combination sizes, range/ids distributions) — and the
-same query sequence is executed through all five execution paths:
+same query sequence is executed through all six execution paths:
 
 * **scalar** — the seed per-record reference (``columnar=False``, ``query``);
 * **columnar** — the vectorized sequential engine (``query``);
@@ -12,21 +12,25 @@ same query sequence is executed through all five execution paths:
 * **parallel** — ``query_batch`` in the same chunks, ``workers`` threads;
 * **epoch** — ``query_batch(..., snapshot=True)`` in the same chunks:
   the MVCC read path of :mod:`repro.core.epoch`, pinned to a published
-  epoch and read lock-free.
+  epoch and read lock-free;
+* **process** — ``query_batch(..., executor="process")`` in the same
+  chunks: page decode + filtering in worker *processes* over
+  shared-memory staged pages (:class:`~repro.core.parallel.ProcessExecutor`).
 
 Agreement is asserted at the strength each pair guarantees:
 
 * scalar vs columnar: byte-identical hits *in the same order*, identical
   reports including ``objects_examined``;
-* batch vs parallel, batch vs epoch: identical hits *in the same order*,
-  identical reports including ``objects_examined`` (all three read the
+* batch vs parallel, batch vs epoch, batch vs process: identical hits
+  *in the same order*, identical reports including ``objects_examined``
+  (all four read the
   same start-of-batch trees through the same deterministic plans — for
   the epoch engine, in isolation the pinned snapshot IS start-of-batch
   state and every pre-image overlay lookup misses);
 * columnar vs batch: identical hit *sets* per query (batching may reorder
   within a result list) and identical reports except ``objects_examined``
   (the one documented batching deviation);
-* all five: identical post-run adaptive state and byte-identical on-disk
+* all six: identical post-run adaptive state and byte-identical on-disk
   files.
 
 Every assertion message carries the scenario seed, so a failure is
@@ -103,8 +107,8 @@ def _random_scenario(rng: random.Random) -> dict:
     }
 
 
-def run_fuzz_scenario(seed: int) -> None:
-    """Derive the scenario for ``seed``, run all five engines, assert agreement."""
+def run_fuzz_scenario(seed: int, compression: str | None = None) -> None:
+    """Derive the scenario for ``seed``, run all six engines, assert agreement."""
     rng = random.Random(seed)
     scenario = _random_scenario(rng)
     tag = f"fuzz seed {seed} ({scenario['dimension']}-D, {scenario['n_queries']} queries)"
@@ -117,6 +121,7 @@ def run_fuzz_scenario(seed: int) -> None:
         buffer_pages=scenario["buffer_pages"],
         buffer_shards=scenario["buffer_shards"],
         model=DiskModel(seek_time_s=1e-4),
+        compression=compression,
     )
     workload = list(
         generate_workload(
@@ -139,6 +144,7 @@ def run_fuzz_scenario(seed: int) -> None:
     batch = SpaceOdyssey(suite.fork().catalog, config)
     parallel = SpaceOdyssey(suite.fork().catalog, config)
     epoch = SpaceOdyssey(suite.fork().catalog, config)
+    process = SpaceOdyssey(suite.fork().catalog, config)
 
     scalar_hits, scalar_reports = [], []
     columnar_hits, columnar_reports = [], []
@@ -151,6 +157,7 @@ def run_fuzz_scenario(seed: int) -> None:
     batch_hits, batch_reports = [], []
     parallel_hits, parallel_reports = [], []
     epoch_hits, epoch_reports = [], []
+    process_hits, process_reports = [], []
     chunk_size = scenario["batch_size"]
     for start in range(0, len(workload), chunk_size):
         chunk = workload[start : start + chunk_size]
@@ -165,6 +172,11 @@ def run_fuzz_scenario(seed: int) -> None:
         )
         epoch_hits.extend(epoch_result.results)
         epoch_reports.extend(epoch_result.reports)
+        process_result = process.query_batch(
+            chunk, workers=scenario["workers"], executor="process"
+        )
+        process_hits.extend(process_result.results)
+        process_reports.extend(process_result.reports)
 
     for index in range(len(workload)):
         assert scalar_hits[index] == columnar_hits[index], (
@@ -177,6 +189,10 @@ def run_fuzz_scenario(seed: int) -> None:
         )
         assert batch_hits[index] == epoch_hits[index], (
             f"{tag}: batch vs epoch hits differ (order included) "
+            f"for query {index}"
+        )
+        assert batch_hits[index] == process_hits[index], (
+            f"{tag}: batch vs process hits differ (order included) "
             f"for query {index}"
         )
         assert packed_hits(columnar, columnar_hits[index]) == packed_hits(
@@ -192,6 +208,9 @@ def run_fuzz_scenario(seed: int) -> None:
             assert getattr(batch_reports[index], field) == getattr(
                 epoch_reports[index], field
             ), f"{tag}: batch vs epoch report field {field!r} differs for query {index}"
+            assert getattr(batch_reports[index], field) == getattr(
+                process_reports[index], field
+            ), f"{tag}: batch vs process report field {field!r} differs for query {index}"
         for field in REPORT_FIELDS:
             assert getattr(columnar_reports[index], field) == getattr(
                 batch_reports[index], field
@@ -204,6 +223,7 @@ def run_fuzz_scenario(seed: int) -> None:
         ("batch", batch),
         ("parallel", parallel),
         ("epoch", epoch),
+        ("process", process),
     ):
         assert adaptive_state(engine) == reference_state, (
             f"{tag}: {name} adaptive state diverged from scalar"
@@ -219,6 +239,18 @@ def test_fuzz_quick(seed):
     run_fuzz_scenario(seed)
 
 
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:2])
+def test_fuzz_compressed_raw_files(seed):
+    """The same six-engine oracle over zlib-compressed raw dataset files.
+
+    Every fork shares the master's compressed bytes, so the per-page
+    codec header must decode identically through the scalar path, the
+    columnar path, the buffer pool's decoded layer and the process
+    executor's staged buffers.
+    """
+    run_fuzz_scenario(seed, compression="zlib")
+
+
 @pytest.mark.slow
 @pytest.mark.skipif(
     DEEP_ITERATIONS == 0,
@@ -231,7 +263,7 @@ def test_fuzz_deep(seed):
 
 
 # ---------------------------------------------------------------------- #
-# Fault campaign: the same five-engine oracle under injected storage faults
+# Fault campaign: the same six-engine oracle under injected storage faults
 # ---------------------------------------------------------------------- #
 
 #: Seeds fault-fuzzed in every tier-1 run.
@@ -252,7 +284,7 @@ def run_fault_campaign(seed: int) -> None:
     read/write errors, in-flight bit-flips, torn in-place writes) under a
     :class:`~repro.storage.retry.RetryingBackend`.  The contract: the
     retry layer absorbs every injected fault (zero client-visible
-    errors), and all five engines still produce bit-identical hits,
+    errors), and all six engines still produce bit-identical hits,
     adaptive state and on-disk bytes — fault placement differs per engine
     (thread scheduling consumes the fault RNG in different orders), so
     this proves transient faults cannot perturb logical state.
@@ -312,12 +344,14 @@ def run_fault_campaign(seed: int) -> None:
     batch = SpaceOdyssey(faulty_fork().catalog, config)
     parallel = SpaceOdyssey(faulty_fork().catalog, config)
     epoch = SpaceOdyssey(faulty_fork().catalog, config)
+    process = SpaceOdyssey(faulty_fork().catalog, config)
     engines = (
         ("scalar", scalar),
         ("columnar", columnar),
         ("batch", batch),
         ("parallel", parallel),
         ("epoch", epoch),
+        ("process", process),
     )
 
     scalar_hits, columnar_hits = [], []
@@ -326,6 +360,7 @@ def run_fault_campaign(seed: int) -> None:
         columnar_hits.append(columnar.query(query.box, query.dataset_ids))
 
     batch_hits, parallel_hits, epoch_hits = [], [], []
+    process_hits = []
     chunk_size = scenario["batch_size"]
     for start in range(0, len(workload), chunk_size):
         chunk = workload[start : start + chunk_size]
@@ -336,6 +371,11 @@ def run_fault_campaign(seed: int) -> None:
         epoch_hits.extend(
             epoch.query_batch(
                 chunk, snapshot=True, workers=scenario["workers"]
+            ).results
+        )
+        process_hits.extend(
+            process.query_batch(
+                chunk, workers=scenario["workers"], executor="process"
             ).results
         )
 
@@ -367,6 +407,9 @@ def run_fault_campaign(seed: int) -> None:
         )
         assert batch_hits[index] == epoch_hits[index], (
             f"{tag}: batch vs epoch hits differ for query {index}"
+        )
+        assert batch_hits[index] == process_hits[index], (
+            f"{tag}: batch vs process hits differ for query {index}"
         )
         assert packed_hits(columnar, columnar_hits[index]) == packed_hits(
             batch, batch_hits[index]

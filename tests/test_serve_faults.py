@@ -11,6 +11,8 @@ for both the classic and the pipelined dispatcher.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.config import OdysseyConfig
@@ -178,6 +180,47 @@ class TestTransientRetry:
         assert svc.stats.failed == 1
         assert svc.stats.retries == 2  # budget spent before surfacing
 
+    def test_backoff_cap_is_configurable(self, engine, suite):
+        reference = SpaceOdyssey(suite.fork().catalog, OdysseyConfig())
+        flaky = FlakyEngine(engine)
+        flaky.batch_error = TransientIOError("batch path down")
+        flaky.transient_query_failures = 3
+        sleeps: list[float] = []
+        svc = service(
+            flaky, pipeline=False, batch_retries=3, retry_backoff_ms=100.0,
+            retry_backoff_max_ms=150.0, sleep=sleeps.append,
+        )
+        with svc:
+            hits = svc.query(BOX, (0, 1))
+        assert hit_keys(hits) == hit_keys(reference.query(BOX, (0, 1)))
+        # 100 ms doubles to 200 ms but the configured ceiling clips it.
+        assert sleeps == [0.1, 0.15, 0.15]
+
+    def test_abort_during_backoff_returns_promptly(self, engine):
+        """close(drain=False) must interrupt a backoff wait, not ride it out.
+
+        The dispatcher backs off on an Event wait, so with a 60 s backoff
+        an abort still shuts the service down in milliseconds and the
+        in-flight submission surfaces the original transient error.
+        """
+        flaky = FlakyEngine(engine)
+        flaky.batch_error = TransientIOError("batch path down")
+        flaky.transient_query_failures = 100
+        svc = QueryService(
+            flaky, pipeline=False, max_delay_ms=0.0, batch_retries=10,
+            retry_backoff_ms=60_000.0, retry_backoff_max_ms=60_000.0,
+        )
+        submission = svc.submit(BOX, (0,))
+        deadline = time.monotonic() + 10.0
+        while svc.stats.retries == 0:  # dispatcher is now inside the backoff
+            assert time.monotonic() < deadline, "dispatcher never started retrying"
+            time.sleep(0.005)
+        started = time.monotonic()
+        svc.close(drain=False, timeout=10.0)
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0, f"abort waited out the backoff ({elapsed:.1f}s)"
+        assert isinstance(submission.exception(timeout=1.0), TransientIOError)
+
     def test_non_transient_errors_are_not_retried(self, engine):
         flaky = FlakyEngine(engine)
         flaky.armed_error = ValueError("bad dataset id")
@@ -260,6 +303,8 @@ class TestParameterValidation:
             QueryService(engine, batch_retries=-1)
         with pytest.raises(ValueError):
             QueryService(engine, retry_backoff_ms=-1.0)
+        with pytest.raises(ValueError):
+            QueryService(engine, retry_backoff_max_ms=-1.0)
         with pytest.raises(ValueError):
             QueryService(engine, breaker_threshold=0)
         with pytest.raises(ValueError):

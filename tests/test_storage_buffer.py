@@ -563,3 +563,62 @@ class TestDiskFailedReadInvalidation:
             b"p2",
             b"p3",
         ]
+
+
+class TestDecodedArrayImmutability:
+    """Arrays served from the decoded layer (and every other array read
+    path) are shared between callers — buffer-pool cache hits, batch read
+    sets, even process-executor mmap views all alias the same memory.  A
+    caller mutating one in place would silently corrupt every other
+    reader's view of the page, so the storage layer hands them out with
+    ``writeable=False`` and in-place writes must raise."""
+
+    @pytest.fixture
+    def stored(self):
+        from repro.data.spatial_object import spatial_object_codec
+        from repro.storage.cost_model import DiskModel
+        from repro.storage.disk import Disk
+        from repro.storage.pagedfile import PagedFile
+
+        from tests.conftest import make_random_objects
+        from repro.geometry.box import Box
+
+        disk = Disk(model=DiskModel(), buffer_pages=64)
+        file = PagedFile(disk, "frozen.dat", spatial_object_codec(3))
+        universe = Box((0.0, 0.0, 0.0), (100.0, 100.0, 100.0))
+        # Enough records to span several pages, so the multi-page
+        # concatenation path is exercised too.
+        run = file.append_group(
+            make_random_objects(universe, 300, dataset_id=0, seed=5)
+        )
+        return file, run
+
+    def test_read_group_array_is_frozen(self, stored):
+        file, run = stored
+        records = file.read_group_array(run)
+        assert not records.flags.writeable
+        with pytest.raises(ValueError):
+            records["oid"][0] = 999
+
+    def test_decoded_cache_hit_is_frozen(self, stored):
+        """The second read serves the pool's decoded entries: still frozen."""
+        file, run = stored
+        file.read_group_array(run)
+        cached = file.read_group_array(run)
+        assert not cached.flags.writeable
+        with pytest.raises(ValueError):
+            cached["lo"][:] = 0.0
+
+    def test_scan_arrays_chunks_are_frozen(self, stored):
+        file, _ = stored
+        chunks = list(file.scan_arrays(chunk_pages=2))
+        assert chunks
+        for chunk in chunks:
+            assert not chunk.flags.writeable
+
+    def test_snapshot_read_is_frozen(self, stored):
+        file, run = stored
+        records = file.read_group_array_at(run, lambda name, page_no: None)
+        assert not records.flags.writeable
+        with pytest.raises(ValueError):
+            records["hi"][0] = 1.0
