@@ -161,6 +161,12 @@ PAR_BUFFER_SHARDS = 8
 #: sets ``REPRO_EPOCH_OVERLAP_MIN=1.9``; unset or non-positive means
 #: "measure and report only".  The bar is only meaningful on 2+ cores.
 EPOCH_OVERLAP_MAX = float(os.environ.get("REPRO_EPOCH_OVERLAP_MIN", "0"))
+#: The tracing-overhead bar is opt-in and an *upper* bound on the
+#: wall-clock ratio of a traced batched pass to the untraced pass
+#: (1.0 = free instrumentation).  CI's parallel smoke sets
+#: ``REPRO_OBS_OVERHEAD_MAX=1.25``; unset or non-positive means
+#: "measure and report only".
+OBS_OVERHEAD_MAX = float(os.environ.get("REPRO_OBS_OVERHEAD_MAX", "0"))
 
 #: The scalar reference configuration used as the speedup baseline.
 SCALAR_CONFIG = OdysseyConfig(columnar=False)
@@ -284,6 +290,49 @@ def test_batched_execution_speedup(batch_suite, batch_workload):
         f"batched execution speedup {speedup:.2f}x at batch size {BATCH_SIZE} "
         f"is below the {BATCH_SPEEDUP_MIN:g}x acceptance bar"
     )
+
+
+@pytest.mark.benchmark(group="micro-obs")
+def test_tracing_overhead(batch_suite, batch_workload):
+    """Per-phase tracing must not materially slow the batched engine.
+
+    The same converged engine runs the 64-query workload batched, first
+    untraced, then with a tracer attached (ample ring capacity so no
+    eviction churn); best-of-three each, interleaved warm-ups.  The
+    telemetry contract is observation-only, so beyond wall clock the
+    test also checks the traced pass returned work and recorded spans.
+    The ratio bar is enforced only when ``REPRO_OBS_OVERHEAD_MAX`` is
+    set — single-run ratios near 1.0 wobble under noisy neighbours.
+    """
+    engine = _converged_engine(batch_suite, batch_workload)
+
+    def run_batched() -> float:
+        start = time.perf_counter()
+        for offset in range(0, len(batch_workload), BATCH_SIZE):
+            engine.query_batch(batch_workload[offset : offset + BATCH_SIZE])
+        return time.perf_counter() - start
+
+    run_batched()  # warm the untraced path
+    untraced_seconds = best_of(3, run_batched)
+    tracer = engine.enable_tracing(capacity=65536)
+    try:
+        run_batched()  # warm the traced path (span allocation, ring)
+        traced_seconds = best_of(3, run_batched)
+        spans = len(tracer) + tracer.evicted
+    finally:
+        engine.disable_tracing()
+    ratio = traced_seconds / untraced_seconds
+    print(
+        f"\ntracing overhead: untraced {untraced_seconds * 1e3:.1f} ms, "
+        f"traced {traced_seconds * 1e3:.1f} ms, ratio {ratio:.3f}x "
+        f"({spans} spans recorded)"
+    )
+    assert spans > 0, "traced pass recorded no spans"
+    if OBS_OVERHEAD_MAX > 0:
+        assert ratio <= OBS_OVERHEAD_MAX, (
+            f"tracing overhead ratio {ratio:.3f}x is above the "
+            f"{OBS_OVERHEAD_MAX:g}x acceptance bar"
+        )
 
 
 @pytest.mark.benchmark(group="micro-batch")

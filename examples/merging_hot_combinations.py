@@ -44,7 +44,7 @@ def run_session(suite, enable_merging: bool):
     per_round_cost = []
     merge_created_at = None
     for round_index in range(12):
-        before = suite.disk.stats.snapshot()
+        before = suite.disk.stats_snapshot()
         for region in hot_regions:
             suite.disk.clear_cache()
             suite.disk.reset_head()

@@ -73,6 +73,7 @@ from repro.core.odyssey import SpaceOdyssey
 from repro.data.dataset import Dataset, DatasetCatalog
 from repro.data.spatial_object import spatial_object_codec
 from repro.data.suite import BenchmarkSuite, build_benchmark_suite
+from repro.obs import write_trace
 from repro.serve import run_open_loop
 from repro.storage.backend import StorageBackend
 from repro.storage.disk import Disk
@@ -385,6 +386,7 @@ def run_perf_snapshot(
     faults: bool = False,
     compression: str | None = None,
     executor: str = "thread",
+    trace_path: str | Path | None = None,
 ) -> dict[str, Any]:
     """Measure one perf snapshot and return it as a JSON-ready dict.
 
@@ -504,6 +506,34 @@ def run_perf_snapshot(
     run_batched()
     batch_stats = timing_stats(repeats, lambda: timed(run_batched))
     batch_seconds = batch_stats["min_seconds"]
+
+    # Observability phase: the identical batched pass with per-phase
+    # tracing enabled, so the snapshot trajectory records what the
+    # telemetry layer costs when it is actually on (disabled tracing is
+    # one predicate per span site and is part of every other phase).
+    tracer = batch_engine.enable_tracing(capacity=65536)
+    try:
+        run_batched()  # warm the traced path (span allocation, ring)
+        traced_stats = timing_stats(repeats, lambda: timed(run_batched))
+        traced_seconds = traced_stats["min_seconds"]
+        spans_recorded = len(tracer) + tracer.evicted
+        trace_file: str | None = None
+        if trace_path is not None:
+            write_trace(tracer, trace_path)
+            trace_file = str(trace_path)
+    finally:
+        batch_engine.disable_tracing()
+    phases["observability"] = {
+        "untraced_seconds": batch_seconds,
+        "traced_seconds": traced_seconds,
+        "overhead_ratio": traced_seconds / batch_seconds
+        if batch_seconds > 0
+        else None,
+        "spans_recorded": spans_recorded,
+        "spans_evicted": tracer.evicted,
+        "trace_path": trace_file,
+        "stats": traced_stats,
+    }
 
     # Parallel-batch worker sweep: each worker count gets its own engine
     # (converged identically — the oracle guarantees state equality) over
@@ -843,6 +873,13 @@ def format_snapshot_summary(snapshot: dict[str, Any]) -> str:
         lines.append(
             "parallel batch: best worker count is "
             f"{_ratio(speedups['parallel_best_vs_workers1'])} vs workers=1"
+        )
+    observability = phases.get("observability")
+    if observability is not None:
+        lines.append(
+            f"tracing overhead: {_ratio(observability.get('overhead_ratio'))} "
+            f"the untraced batched pass "
+            f"({observability['spans_recorded']} spans recorded)"
         )
     concurrent = phases.get("concurrent_batches")
     if concurrent is not None:

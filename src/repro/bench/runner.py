@@ -155,29 +155,29 @@ def run_approach(
     result = ApproachResult(approach=approach.name)
     wall_start = time.perf_counter()
 
-    before_build = disk.stats.snapshot()
+    before_build = disk.stats_snapshot()
     approach.build()
-    after_build = disk.stats.snapshot()
+    after_build = disk.stats_snapshot()
     build_delta = after_build.delta_since(before_build)
     result.indexing_seconds = build_delta.simulated_seconds
     result.indexing_io = build_delta
 
     queries = list(workload)
     batched = batch_size > 1 and callable(getattr(approach, "query_batch", None))
-    querying_start = disk.stats.snapshot()
+    querying_start = disk.stats_snapshot()
     for start in range(0, len(queries), batch_size):
         chunk = queries[start : start + batch_size]
         if clear_cache_before_queries:
             disk.clear_cache()
             disk.reset_head()
         if batched:
-            before = disk.stats.snapshot()
+            before = disk.stats_snapshot()
             batch_result = (
                 approach.query_batch(chunk, workers=workers)
                 if workers > 1
                 else approach.query_batch(chunk)
             )
-            delta = disk.stats.delta_since(before)
+            delta = disk.stats_snapshot().delta_since(before)
             share = delta.simulated_seconds / len(chunk)
             answers = list(batch_result.results)
             for query, answer in zip(chunk, answers):
@@ -192,9 +192,9 @@ def run_approach(
         else:
             answers = []
             for query in chunk:
-                before = disk.stats.snapshot()
+                before = disk.stats_snapshot()
                 answers.append(approach.query(query.box, query.dataset_ids))
-                delta = disk.stats.delta_since(before)
+                delta = disk.stats_snapshot().delta_since(before)
                 result.query_timings.append(
                     QueryTiming(
                         qid=query.qid,
@@ -207,15 +207,15 @@ def run_approach(
             result.total_results += len(answer)
         if validate_against is not None:
             for query, answer in zip(chunk, answers):
-                oracle_before = disk.stats.snapshot()
+                oracle_before = disk.stats_snapshot()
                 expected = validate_against.query(query.box, query.dataset_ids)
-                oracle_delta = disk.stats.delta_since(oracle_before)
+                oracle_delta = disk.stats_snapshot().delta_since(oracle_before)
                 # Remove the oracle's I/O from the approach's accounting by
                 # rebasing the querying snapshot.
                 querying_start = _shift_snapshot(querying_start, oracle_delta)
                 if result_keys(answer) != result_keys(expected):
                     result.validation_failures += 1
-    querying_delta = disk.stats.delta_since(querying_start)
+    querying_delta = disk.stats_snapshot().delta_since(querying_start)
     result.querying_io = querying_delta
     result.querying_seconds = sum(t.simulated_seconds for t in result.query_timings)
     result.wall_seconds = time.perf_counter() - wall_start

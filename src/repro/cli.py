@@ -37,6 +37,13 @@ Benchmark the multi-tenant serving frontend alone — open-loop arrivals
 through the dynamic batcher, reporting sustained QPS and p50/p99 latency::
 
     python -m repro.cli serve-bench --scale small --rate 500 --clients 8
+
+Run a short traced workload and export the engine's telemetry snapshot
+(all subsystem counters, gauges and latency histograms) as JSON or
+Prometheus text, optionally with the span trace::
+
+    python -m repro.cli stats --format prometheus
+    python -m repro.cli stats --output stats.json --trace trace.json
 """
 
 from __future__ import annotations
@@ -246,6 +253,59 @@ def _build_parser() -> argparse.ArgumentParser:
         default=4,
         help="concurrent client threads of the serving phase (default: 4)",
     )
+    bench.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "dump the observability phase's span trace (per-phase query "
+            "tracing of the batched pass) to this JSON file"
+        ),
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help=(
+            "run a short traced workload on a fresh engine and export its "
+            "telemetry snapshot (JSON or Prometheus text)"
+        ),
+    )
+    stats.add_argument(
+        "--scale",
+        default="tiny",
+        choices=sorted(SCALES),
+        help="experiment scale preset of the probe engine (default: tiny)",
+    )
+    stats.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=32,
+        help="workload queries executed before the snapshot (default: 32)",
+    )
+    stats.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=8,
+        help="batch size of the probe workload (default: 8)",
+    )
+    stats.add_argument(
+        "--format",
+        default="json",
+        choices=["json", "prometheus"],
+        help="snapshot encoding (default: json)",
+    )
+    stats.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the snapshot here instead of stdout",
+    )
+    stats.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also dump the probe run's span trace to this JSON file",
+    )
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -344,6 +404,51 @@ def _maybe_save(result, output: str | None) -> None:
         print(f"\nraw result written to {path}")
 
 
+def _run_stats(args) -> None:
+    """The ``stats`` command: probe workload → telemetry snapshot."""
+    from repro.bench.runner import generate_workload
+    from repro.bench.scales import get_scale
+    from repro.data.suite import build_benchmark_suite
+    from repro.obs import snapshot_to_json, snapshot_to_prometheus, write_trace
+
+    scale = get_scale(args.scale)
+    suite = build_benchmark_suite(
+        n_datasets=scale.n_datasets,
+        objects_per_dataset=scale.objects_per_dataset,
+        seed=scale.seed,
+        model=scale.disk_model(),
+    )
+    workload = list(
+        generate_workload(
+            suite.universe,
+            suite.catalog.dataset_ids(),
+            args.queries,
+            seed=scale.seed,
+            datasets_per_query=min(2, scale.n_datasets),
+            volume_fraction=5e-3,
+        )
+    )
+    from repro.core.odyssey import SpaceOdyssey
+
+    odyssey = SpaceOdyssey(suite.catalog)
+    tracer = odyssey.enable_tracing()
+    for start in range(0, len(workload), args.batch_size):
+        odyssey.query_batch(workload[start : start + args.batch_size])
+    snapshot = odyssey.telemetry()
+    if args.format == "prometheus":
+        rendered = snapshot_to_prometheus(snapshot)
+    else:
+        rendered = snapshot_to_json(snapshot)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        print(f"telemetry snapshot written to {args.output}")
+    else:
+        print(rendered)
+    if args.trace:
+        count = write_trace(tracer, args.trace)
+        print(f"{count} spans written to {args.trace}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-bench`` console script."""
     parser = _build_parser()
@@ -399,12 +504,15 @@ def main(argv: list[str] | None = None) -> int:
             faults=args.faults,
             compression=args.compression,
             executor=args.executor,
+            trace_path=args.trace,
         )
         print(perf.format_snapshot_summary(snapshot))
         path = perf.save_snapshot(
             snapshot, args.json or perf.default_snapshot_path(args.scale)
         )
         print(f"\nperf snapshot written to {path}")
+    elif args.command == "stats":
+        _run_stats(args)
     elif args.command == "serve-bench":
         snapshot = perf.run_serve_snapshot(
             args.scale,

@@ -64,6 +64,7 @@ from repro.data.columnar import DecodedGroup
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
 from repro.geometry.vectorized import box_to_arrays, intersect_mask
+from repro.obs.trace import maybe_span
 from repro.storage.buffer import BufferCounters
 from repro.storage.pagedfile import PagedFile, StoredRun
 from repro.workload.query import RangeQuery
@@ -209,6 +210,9 @@ class BatchExecutor:
     sequential-identity guarantee.
     """
 
+    #: Label carried on the batch root span (overridden by subclasses).
+    _executor_name = "serial"
+
     def __init__(self, processor: QueryProcessor) -> None:
         self._processor = processor
 
@@ -254,15 +258,30 @@ class BatchExecutor:
             for dataset_id in query.requested:
                 catalog.get(dataset_id)  # validates every id before any work
 
-        first_touch = self._initialize_trees(queries)
-        extended = self._extended_windows(queries)
-        needed0, versions0 = self._resolve_overlaps(batch, extended)
-        read_set = BatchReadSet(catalog.dimension)
-        results, examined, cache_deltas = self._read_and_filter(batch, needed0, read_set)
-        reports = self._replay_updates(
-            queries, first_touch, extended, needed0, versions0, results, examined,
-            cache_deltas,
-        )
+        tracer = processor.tracer
+        with maybe_span(
+            tracer, "batch", queries=len(queries), executor=self._executor_name
+        ) as span:
+            with maybe_span(tracer, "batch.init_trees"):
+                first_touch = self._initialize_trees(queries)
+            with maybe_span(tracer, "batch.overlap"):
+                extended = self._extended_windows(queries)
+                needed0, versions0 = self._resolve_overlaps(batch, extended)
+            read_set = BatchReadSet(catalog.dimension)
+            with maybe_span(tracer, "batch.read_filter"):
+                results, examined, cache_deltas = self._read_and_filter(
+                    batch, needed0, read_set
+                )
+            with maybe_span(tracer, "batch.replay"):
+                reports = self._replay_updates(
+                    queries, first_touch, extended, needed0, versions0, results,
+                    examined, cache_deltas,
+                )
+            if span is not None:
+                span.attributes.update(
+                    group_reads=read_set.group_reads,
+                    dedup_hits=read_set.dedup_hits,
+                )
         return BatchResult(
             results=results,
             reports=reports,

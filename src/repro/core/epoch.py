@@ -63,6 +63,7 @@ from repro.core.partition import PartitionNode, TreeEpochSnapshot
 from repro.data.columnar import DecodedGroup
 from repro.data.spatial_object import SpatialObject, spatial_object_codec
 from repro.geometry.box import Box
+from repro.obs.trace import maybe_span
 from repro.storage.buffer import BufferCounters
 from repro.storage.pagedfile import PagedFile, StoredRun
 
@@ -311,6 +312,42 @@ class EpochManager:
                 epoch = epoch.next
             return total
 
+    def retained_bytes_total(self) -> int:
+        """Total bytes of retained pre-images over all live epochs."""
+        with self._lock:
+            total = 0
+            epoch = self._head
+            while epoch is not None:
+                total += sum(len(data) for data in epoch.retained.values())
+                epoch = epoch.next
+            return total
+
+    def gauges(self) -> dict[str, int]:
+        """Retention gauges in one consistent reading (one lock hold).
+
+        Keys: ``live_epochs`` (chain length head→current),
+        ``pinned_readers`` (sum of refcounts), ``retained_pages`` and
+        ``retained_bytes`` (pre-image overlay size).  This is the
+        production-observable form of the leak-freedom the epoch stress
+        tests assert: at quiescence everything but ``live_epochs == 1``
+        should read zero.
+        """
+        with self._lock:
+            live = pinned = pages = size = 0
+            epoch = self._head
+            while epoch is not None:
+                live += 1
+                pinned += epoch.refcount
+                pages += len(epoch.retained)
+                size += sum(len(data) for data in epoch.retained.values())
+                epoch = epoch.next
+            return {
+                "live_epochs": live,
+                "pinned_readers": pinned,
+                "retained_pages": pages,
+                "retained_bytes": size,
+            }
+
 
 class EpochReadSet(ParallelReadSet):
     """A read set whose group fetches resolve against a pinned epoch.
@@ -376,6 +413,8 @@ class EpochExecutor(ParallelExecutor):
     ``objects_examined`` included).
     """
 
+    _executor_name = "epoch"
+
     def __init__(self, processor: "QueryProcessor", workers: int | None = None) -> None:
         # None means "serial reads" here (matching query_batch), not
         # default_workers(): snapshot batches overlap each other, so the
@@ -412,7 +451,14 @@ class EpochExecutor(ParallelExecutor):
 
     def run(self, batch: QueryBatch) -> BatchResult:
         """Execute the batch: lock-free read phase, then gated writer phase."""
-        return self.commit(self.prepare(batch))
+        with maybe_span(
+            self._processor.tracer,
+            "batch",
+            queries=len(batch),
+            executor=self._executor_name,
+            workers=self._workers,
+        ):
+            return self.commit(self.prepare(batch))
 
     def prepare(self, batch: QueryBatch) -> PreparedBatch:
         """The lock-free read phase: pin, resolve, read, filter, unpin.
@@ -431,49 +477,64 @@ class EpochExecutor(ParallelExecutor):
             for dataset_id in query.requested:
                 catalog.get(dataset_id)  # validates every id before any work
         manager = processor.epochs
-        epoch = manager.pin()
-        first_touch: dict[int, int] = {}
-        involved = {d for query in queries for d in query.requested}
-        if any(dataset_id not in epoch.trees for dataset_id in involved):
-            manager.unpin(epoch)
-            with processor.gate:
-                first_touch = self._initialize_trees(queries)
-                processor.publish_epoch()
+        tracer = processor.tracer
+        with maybe_span(tracer, "epoch.prepare", queries=len(queries)) as prep:
             epoch = manager.pin()
-        self._epoch = epoch
-        try:
-            extended = self._extended_windows(queries)
-            needed0, versions0 = self._resolve_overlaps_epoch(batch, extended)
-            decisions = self._route_decisions(batch)
-            read_set = EpochReadSet(catalog.dimension, epoch)
-            if self._workers == 1 or len(batch) < 2:
-                results, examined, cache_deltas = self._read_and_filter_pinned(
-                    batch, needed0, decisions, read_set
+            first_touch: dict[int, int] = {}
+            involved = {d for query in queries for d in query.requested}
+            if any(dataset_id not in epoch.trees for dataset_id in involved):
+                manager.unpin(epoch)
+                with processor.gate:
+                    with maybe_span(tracer, "batch.init_trees"):
+                        first_touch = self._initialize_trees(queries)
+                    processor.publish_epoch()
+                epoch = manager.pin()
+            if prep is not None:
+                prep.attributes["epoch"] = epoch.epoch_id
+            self._epoch = epoch
+            try:
+                with maybe_span(tracer, "batch.overlap"):
+                    extended = self._extended_windows(queries)
+                    needed0, versions0 = self._resolve_overlaps_epoch(batch, extended)
+                decisions = self._route_decisions(batch)
+                read_set = EpochReadSet(catalog.dimension, epoch)
+                with maybe_span(tracer, "batch.read_filter") as phase:
+                    if self._workers == 1 or len(batch) < 2:
+                        results, examined, cache_deltas = self._read_and_filter_pinned(
+                            batch, needed0, decisions, read_set
+                        )
+                    else:
+                        with ThreadPoolExecutor(
+                            max_workers=self._workers, thread_name_prefix="repro-epoch"
+                        ) as executor:
+                            results, examined, cache_deltas = (
+                                self._read_and_filter_parallel(
+                                    batch,
+                                    needed0,
+                                    decisions,
+                                    read_set,
+                                    executor,
+                                    tracer=tracer,
+                                    parent=phase,
+                                )
+                            )
+                return PreparedBatch(
+                    executor=self,
+                    batch=batch,
+                    epoch_id=epoch.epoch_id,
+                    first_touch=first_touch,
+                    extended=extended,
+                    needed0=needed0,
+                    versions0=versions0,
+                    results=results,
+                    examined=examined,
+                    cache_deltas=cache_deltas,
+                    group_reads=read_set.group_reads,
+                    dedup_hits=read_set.dedup_hits,
                 )
-            else:
-                with ThreadPoolExecutor(
-                    max_workers=self._workers, thread_name_prefix="repro-epoch"
-                ) as executor:
-                    results, examined, cache_deltas = self._read_and_filter_parallel(
-                        batch, needed0, decisions, read_set, executor
-                    )
-            return PreparedBatch(
-                executor=self,
-                batch=batch,
-                epoch_id=epoch.epoch_id,
-                first_touch=first_touch,
-                extended=extended,
-                needed0=needed0,
-                versions0=versions0,
-                results=results,
-                examined=examined,
-                cache_deltas=cache_deltas,
-                group_reads=read_set.group_reads,
-                dedup_hits=read_set.dedup_hits,
-            )
-        finally:
-            self._epoch = None
-            manager.unpin(epoch)
+            finally:
+                self._epoch = None
+                manager.unpin(epoch)
 
     def commit(self, prepared: PreparedBatch) -> BatchResult:
         """The writer phase: CPU charges and the ordered adaptive replay.
@@ -489,21 +550,27 @@ class EpochExecutor(ParallelExecutor):
         if not queries:
             return BatchResult(results=[], reports=[])
         disk = processor.catalog.datasets()[0].disk
-        with processor.gate:
-            for query in queries:
-                disk.charge_cpu_records(prepared.examined[query.index])
-            reports = self._replay_updates(
-                queries,
-                prepared.first_touch,
-                prepared.extended,
-                prepared.needed0,
-                prepared.versions0,
-                prepared.results,
-                prepared.examined,
-                prepared.cache_deltas,
-            )
-            processor.publish_epoch()
-            processor.commit_durable((q.box, q.requested) for q in queries)
+        with maybe_span(
+            processor.tracer,
+            "epoch.commit",
+            queries=len(queries),
+            epoch=prepared.epoch_id,
+        ):
+            with processor.gate:
+                for query in queries:
+                    disk.charge_cpu_records(prepared.examined[query.index])
+                reports = self._replay_updates(
+                    queries,
+                    prepared.first_touch,
+                    prepared.extended,
+                    prepared.needed0,
+                    prepared.versions0,
+                    prepared.results,
+                    prepared.examined,
+                    prepared.cache_deltas,
+                )
+                processor.publish_epoch()
+                processor.commit_durable((q.box, q.requested) for q in queries)
         return BatchResult(
             results=prepared.results,
             reports=reports,

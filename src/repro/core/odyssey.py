@@ -38,7 +38,8 @@ queries sequentially in order::
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import weakref
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.baselines.interface import MultiDatasetIndex
@@ -52,6 +53,8 @@ from repro.core.statistics import StatisticsCollector
 from repro.data.dataset import DatasetCatalog
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
+from repro.obs.metrics import EngineSnapshot, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.storage.backend import StorageBackend
 from repro.storage.disk import Disk
 from repro.storage.journal import ManifestJournal
@@ -126,6 +129,8 @@ class SpaceOdyssey(MultiDatasetIndex):
             directory=self._directory,
             merger=self._merger,
         )
+        self._registry: MetricsRegistry | None = None
+        self._services: "weakref.WeakSet[QueryService]" = weakref.WeakSet()
         if not self._config.enable_merging:
             self.name = "Odyssey w/o merging"
         if journal is not None:
@@ -165,6 +170,8 @@ class SpaceOdyssey(MultiDatasetIndex):
                 committed=committed,
             )
         )
+        if self.tracer is not None:
+            journal.attach_tracer(self.tracer)
 
     @property
     def journal(self) -> ManifestJournal | None:
@@ -339,7 +346,7 @@ class SpaceOdyssey(MultiDatasetIndex):
         """
         from repro.serve.service import QueryService
 
-        return QueryService(
+        service = QueryService(
             self,
             max_batch=max_batch,
             max_delay_ms=max_delay_ms,
@@ -348,6 +355,10 @@ class SpaceOdyssey(MultiDatasetIndex):
             pipeline=pipeline,
             **degradation,
         )
+        # Weakly tracked so telemetry() can aggregate serving counters
+        # without keeping closed services alive.
+        self._services.add(service)
+        return service
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -406,3 +417,133 @@ class SpaceOdyssey(MultiDatasetIndex):
             merges_performed=self._merger.merges_performed,
             merge_evictions=self._merger.evictions,
         )
+
+    # ------------------------------------------------------------------ #
+    # Telemetry (see repro.obs)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The attached tracer, or ``None`` (the default: tracing off)."""
+        return self._processor.tracer
+
+    def enable_tracing(self, capacity: int = 4096) -> Tracer:
+        """Attach a fresh :class:`~repro.obs.Tracer` to every subsystem.
+
+        Observation only: spans never feed back into routing, merging,
+        charging or lock ordering, so a traced engine is bit-identical
+        to an untraced one (the engine fuzz oracle runs one engine per
+        mode with tracing enabled to keep this true).  Returns the
+        tracer; read spans via ``tracer.finished()`` / ``drain()``.
+        """
+        tracer = Tracer(capacity=capacity)
+        self._attach_tracer(tracer)
+        return tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer, restoring the zero-overhead fast path."""
+        self._attach_tracer(None)
+
+    def _attach_tracer(self, tracer: Tracer | None) -> None:
+        self._processor.attach_tracer(tracer)
+        self._disk.attach_tracer(tracer)
+        log = self._processor.durability
+        if log is not None:
+            log.journal.attach_tracer(tracer)
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The engine's metric registry (built lazily, then cached).
+
+        Every subsystem counter family is adopted through a read-time
+        adapter, so the registry adds no bookkeeping to any hot path and
+        its totals always reconcile with the legacy counters.
+        """
+        if self._registry is None:
+            registry = MetricsRegistry()
+            registry.add_counter_source(
+                "disk.io", lambda: asdict(self._disk.stats_snapshot())
+            )
+            registry.add_counter_source(
+                "disk.buffer", lambda: asdict(self._disk.buffer_pool.counters())
+            )
+            registry.add_counter_source("engine", lambda: asdict(self.summary()))
+            registry.add_counter_source("storage.retry", self._retry_counters)
+            registry.add_counter_source("storage.faults", self._fault_counters)
+            registry.add_counter_source("serve", self._serve_counters)
+            registry.add_gauge_source("epoch", self._epoch_gauges)
+            registry.add_gauge_source("trace", self._trace_gauges)
+            registry.add_histogram_source(
+                "serve.latency_seconds", self._serve_latency
+            )
+            self._registry = registry
+        return self._registry
+
+    def telemetry(self) -> EngineSnapshot:
+        """One atomic, exportable snapshot of every engine metric.
+
+        Pair with :func:`repro.obs.snapshot_to_json` or
+        :func:`repro.obs.snapshot_to_prometheus`.
+        """
+        return self.metrics_registry().snapshot()
+
+    def _backend_chain(self):
+        backend = self._disk.backend
+        while backend is not None:
+            yield backend
+            backend = getattr(backend, "inner", None)
+
+    def _retry_counters(self) -> dict:
+        from repro.storage.retry import RetryingBackend
+
+        totals: dict[str, int] = {}
+        for backend in self._backend_chain():
+            if isinstance(backend, RetryingBackend):
+                for key, value in asdict(backend.counters()).items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def _fault_counters(self) -> dict:
+        from repro.storage.faults import FaultInjectingBackend
+
+        totals: dict[str, int] = {}
+        for backend in self._backend_chain():
+            if isinstance(backend, FaultInjectingBackend):
+                for key, value in asdict(backend.counters()).items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def _epoch_gauges(self) -> dict:
+        manager = self._processor.epochs
+        return {} if manager is None else manager.gauges()
+
+    def _trace_gauges(self) -> dict:
+        tracer = self.tracer
+        if tracer is None:
+            return {"enabled": 0}
+        return {
+            "enabled": 1,
+            "spans_buffered": len(tracer),
+            "spans_evicted": tracer.evicted,
+            "capacity": tracer.capacity,
+        }
+
+    def _serve_counters(self) -> dict:
+        totals: dict[str, int] = {}
+        for service in list(self._services):
+            stats = service.stats
+            for name, value in asdict(stats).items():
+                if not isinstance(value, int) or isinstance(value, bool):
+                    continue  # the latency digest is not a counter
+                if name == "max_batch_size":
+                    totals[name] = max(totals.get(name, 0), value)
+                else:
+                    totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def _serve_latency(self) -> Histogram | None:
+        merged: Histogram | None = None
+        for service in list(self._services):
+            if merged is None:
+                merged = Histogram("serve.latency_seconds")
+            merged.merge(service.latency_histogram)
+        return merged

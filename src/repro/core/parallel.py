@@ -56,6 +56,7 @@ import mmap
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import resource_tracker, shared_memory
@@ -80,6 +81,7 @@ from repro.geometry.vectorized import (
     intersect_mask,
     intersect_matrix,
 )
+from repro.obs.trace import maybe_span
 from repro.storage.buffer import BufferCounters
 from repro.storage.codec import decode_page_array
 from repro.storage.pagedfile import PagedFile, StoredRun
@@ -152,6 +154,8 @@ class ParallelExecutor(BatchExecutor):
         """The maximum number of worker threads used per batch."""
         return self._workers
 
+    _executor_name = "thread"
+
     def run(self, batch: QueryBatch) -> BatchResult:
         """Execute the batch; equivalent to sequential execution in order."""
         if self._workers == 1 or len(batch) < 2:
@@ -163,39 +167,52 @@ class ParallelExecutor(BatchExecutor):
             for dataset_id in query.requested:
                 catalog.get(dataset_id)  # validates every id before any work
 
-        # Writer-side setup: initialise trees in first-touch order, then
-        # freeze everything the workers will consume — extended windows,
-        # per-tree leaf snapshots, routing decisions and merge-file handles
-        # — so the parallel phases run over immutable state.
-        first_touch = self._initialize_trees(queries)
-        extended = self._extended_windows(queries)
-        self._prebuild_read_state(batch)
-        decisions = self._route_decisions(batch)
-        for decision in decisions.values():
-            if decision.merge_info is not None:
-                processor.merger.merge_file(decision.merge_info.combination)
+        tracer = processor.tracer
+        with maybe_span(
+            tracer,
+            "batch",
+            queries=len(queries),
+            executor=self._executor_name,
+            workers=self._workers,
+        ):
+            # Writer-side setup: initialise trees in first-touch order, then
+            # freeze everything the workers will consume — extended windows,
+            # per-tree leaf snapshots, routing decisions and merge-file
+            # handles — so the parallel phases run over immutable state.
+            with maybe_span(tracer, "batch.init_trees"):
+                first_touch = self._initialize_trees(queries)
+                extended = self._extended_windows(queries)
+                self._prebuild_read_state(batch)
+                decisions = self._route_decisions(batch)
+                for decision in decisions.values():
+                    if decision.merge_info is not None:
+                        processor.merger.merge_file(decision.merge_info.combination)
 
-        with ThreadPoolExecutor(
-            max_workers=self._workers, thread_name_prefix="repro-batch"
-        ) as executor:
-            needed0, versions0 = self._resolve_overlaps_parallel(
-                batch, extended, executor
-            )
-            read_set = ParallelReadSet(catalog.dimension)
-            results, examined, cache_deltas = self._read_and_filter_parallel(
-                batch, needed0, decisions, read_set, executor
-            )
+            with ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-batch"
+            ) as executor:
+                with maybe_span(tracer, "batch.overlap"):
+                    needed0, versions0 = self._resolve_overlaps_parallel(
+                        batch, extended, executor
+                    )
+                read_set = ParallelReadSet(catalog.dimension)
+                with maybe_span(tracer, "batch.read_filter") as phase:
+                    results, examined, cache_deltas = self._read_and_filter_parallel(
+                        batch, needed0, decisions, read_set, executor,
+                        tracer=tracer, parent=phase,
+                    )
 
-        # Deterministic writer phase: CPU charges in submission order (the
-        # identical float sum the serial batch accumulates), then the
-        # ordered replay of statistics, refinement and merging.
-        disk = catalog.datasets()[0].disk
-        for query in queries:
-            disk.charge_cpu_records(examined[query.index])
-        reports = self._replay_updates(
-            queries, first_touch, extended, needed0, versions0, results, examined,
-            cache_deltas,
-        )
+            # Deterministic writer phase: CPU charges in submission order
+            # (the identical float sum the serial batch accumulates), then
+            # the ordered replay of statistics, refinement and merging.
+            with maybe_span(tracer, "batch.replay"):
+                disk = catalog.datasets()[0].disk
+                for query in queries:
+                    disk.charge_cpu_records(examined[query.index])
+                reports = self._replay_updates(
+                    queries, first_touch, extended, needed0, versions0, results,
+                    examined, cache_deltas,
+                )
         return BatchResult(
             results=results,
             reports=reports,
@@ -264,16 +281,32 @@ class ParallelExecutor(BatchExecutor):
         decisions,
         read_set: ParallelReadSet,
         executor: ThreadPoolExecutor,
+        *,
+        tracer=None,
+        parent=None,
     ) -> tuple[list[list[SpatialObject]], list[int], list[BufferCounters]]:
-        """Every query's decode + filter as one concurrent task."""
+        """Every query's decode + filter as one concurrent task.
+
+        With a tracer attached, each task records a ``query.filter`` span
+        explicitly parented on the dispatching phase span (``parent``) —
+        worker threads have empty span stacks, so implicit nesting cannot
+        apply across the pool boundary.
+        """
         pool = self._processor.catalog.datasets()[0].disk.buffer_pool
 
         def work(
             query: BatchQuery,
         ) -> tuple[list[SpatialObject], int, BufferCounters]:
-            cache_start = pool.counters()
-            hits, count = self._filter_one_query(query, needed0, decisions, read_set)
-            return hits, count, pool.counters().delta_since(cache_start)
+            with maybe_span(
+                tracer, "query.filter", parent=parent, query=query.index
+            ) as span:
+                cache_start = pool.counters()
+                hits, count = self._filter_one_query(
+                    query, needed0, decisions, read_set
+                )
+                if span is not None:
+                    span.attributes.update(hits=len(hits), examined=count)
+                return hits, count, pool.counters().delta_since(cache_start)
 
         futures = [executor.submit(work, query) for query in batch.queries]
         results: list[list[SpatialObject]] = [[] for _ in batch.queries]
@@ -363,7 +396,7 @@ def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
         return handle
 
 
-def _resolve_overlap_group(payload):
+def _resolve_overlap_group(payload, trace: bool = False):
     """Worker half of overlap resolution for one combination group.
 
     ``payload`` is a list of ``(dataset_id, lo, hi, q_lo, q_hi,
@@ -373,12 +406,21 @@ def _resolve_overlap_group(payload):
     of the snapshot the parent shipped, which it maps back to
     ``PartitionNode`` objects (exactly the kernel + gather that
     ``PartitionTree.leaves_overlapping_batch`` runs in-process).
+
+    With ``trace=True`` (parent has a tracer attached) the return value
+    becomes ``(out, (start_wall, duration_s, pid))`` — plain timing data
+    the parent grafts into its trace.  The computation itself is
+    identical either way.
     """
+    start_wall = time.time()
+    start_perf = time.perf_counter()
     out = {}
     for dataset_id, lo, hi, q_lo, q_hi, query_indices in payload:
         matrix = intersect_matrix(q_lo, q_hi, lo, hi)
         for query_index, row in zip(query_indices, matrix):
             out[(query_index, dataset_id)] = np.nonzero(row)[0].tolist()
+    if trace:
+        return out, (start_wall, time.perf_counter() - start_perf, os.getpid())
     return out
 
 
@@ -448,7 +490,7 @@ def _filter_staged_query(task, handles) -> list[SpatialObject]:
     return hits
 
 
-def _filter_query_task(task) -> list[SpatialObject]:
+def _filter_query_task(task):
     """Pool entry point: run one query's filter, then release the mappings.
 
     The decode/filter work runs in an inner call so every NumPy view over
@@ -456,16 +498,25 @@ def _filter_query_task(task) -> list[SpatialObject]:
     closed (closing an mmap or shared-memory segment with live exported
     buffers raises ``BufferError``).  The returned hits are plain Python
     objects with no ties to the mappings.
+
+    When the task carries ``trace=True`` the return value becomes
+    ``(hits, (start_wall, duration_s, pid))`` so the parent can graft the
+    worker-side timing into its trace; the filter work is identical.
     """
+    start_wall = time.time()
+    start_perf = time.perf_counter()
     handles: dict = {}
     try:
-        return _filter_staged_query(task, handles)
+        hits = _filter_staged_query(task, handles)
     finally:
         for handle in handles.values():
             try:
                 handle.close()
             except (BufferError, OSError, ValueError):  # pragma: no cover
                 pass
+    if task.get("trace"):
+        return hits, (start_wall, time.perf_counter() - start_perf, os.getpid())
+    return hits
 
 
 class ProcessExecutor(ParallelExecutor):
@@ -505,6 +556,8 @@ class ProcessExecutor(ParallelExecutor):
     has been touched yet.
     """
 
+    _executor_name = "process"
+
     def run(self, batch: QueryBatch) -> BatchResult:
         """Execute the batch; equivalent to sequential execution in order."""
         if self._workers == 1 or len(batch) < 2:
@@ -516,38 +569,51 @@ class ProcessExecutor(ParallelExecutor):
             for dataset_id in query.requested:
                 catalog.get(dataset_id)  # validates every id before any work
 
-        first_touch = self._initialize_trees(queries)
-        extended = self._extended_windows(queries)
-        self._prebuild_read_state(batch)
-        decisions = self._route_decisions(batch)
-        for decision in decisions.values():
-            if decision.merge_info is not None:
-                processor.merger.merge_file(decision.merge_info.combination)
+        tracer = processor.tracer
+        with maybe_span(
+            tracer,
+            "batch",
+            queries=len(queries),
+            executor=self._executor_name,
+            workers=self._workers,
+        ):
+            with maybe_span(tracer, "batch.init_trees"):
+                first_touch = self._initialize_trees(queries)
+                extended = self._extended_windows(queries)
+                self._prebuild_read_state(batch)
+                decisions = self._route_decisions(batch)
+                for decision in decisions.values():
+                    if decision.merge_info is not None:
+                        processor.merger.merge_file(decision.merge_info.combination)
 
-        try:
-            pool = _process_pool(self._workers)
-            needed0, versions0 = self._resolve_overlaps_process(
-                batch, extended, pool
-            )
-            results, examined, read_counts = self._read_and_filter_process(
-                batch, needed0, decisions, pool
-            )
-        except BrokenProcessPool:
-            # A worker died (OOM kill, signal).  Nothing adaptive has been
-            # touched and the setup above is idempotent, so fall back to
-            # the thread executor for this batch and start a fresh pool
-            # next time.
-            _discard_pool(self._workers)
-            return super().run(batch)
+            try:
+                pool = _process_pool(self._workers)
+                with maybe_span(tracer, "batch.overlap") as overlap_span:
+                    needed0, versions0 = self._resolve_overlaps_process(
+                        batch, extended, pool, tracer=tracer, parent=overlap_span
+                    )
+                with maybe_span(tracer, "batch.read_filter") as filter_span:
+                    results, examined, read_counts = self._read_and_filter_process(
+                        batch, needed0, decisions, pool,
+                        tracer=tracer, parent=filter_span,
+                    )
+            except BrokenProcessPool:
+                # A worker died (OOM kill, signal).  Nothing adaptive has
+                # been touched and the setup above is idempotent, so fall
+                # back to the thread executor for this batch and start a
+                # fresh pool next time.
+                _discard_pool(self._workers)
+                return super().run(batch)
 
-        disk = catalog.datasets()[0].disk
-        for query in queries:
-            disk.charge_cpu_records(examined[query.index])
-        cache_deltas = [BufferCounters() for _ in queries]
-        reports = self._replay_updates(
-            queries, first_touch, extended, needed0, versions0, results, examined,
-            cache_deltas,
-        )
+            with maybe_span(tracer, "batch.replay"):
+                disk = catalog.datasets()[0].disk
+                for query in queries:
+                    disk.charge_cpu_records(examined[query.index])
+                cache_deltas = [BufferCounters() for _ in queries]
+                reports = self._replay_updates(
+                    queries, first_touch, extended, needed0, versions0, results,
+                    examined, cache_deltas,
+                )
         return BatchResult(
             results=results,
             reports=reports,
@@ -560,6 +626,9 @@ class ProcessExecutor(ParallelExecutor):
         batch: QueryBatch,
         extended: dict[tuple[int, int], Box],
         pool: ProcessPoolExecutor,
+        *,
+        tracer=None,
+        parent=None,
     ) -> tuple[dict[tuple[int, int], list[PartitionNode]], dict[int, int]]:
         """Overlap resolution in workers, one task per combination group."""
         trees = self._processor.live_trees
@@ -589,10 +658,24 @@ class ProcessExecutor(ParallelExecutor):
                         [query.index for query in group],
                     )
                 )
-            futures.append(pool.submit(_resolve_overlap_group, payload))
+            if tracer is None:
+                futures.append(pool.submit(_resolve_overlap_group, payload))
+            else:
+                futures.append(pool.submit(_resolve_overlap_group, payload, True))
         needed0: dict[tuple[int, int], list[PartitionNode]] = {}
         for future in futures:  # merged in submission (group) order
-            for (query_index, dataset_id), indices in future.result().items():
+            resolved = future.result()
+            if tracer is not None:
+                # Graft the worker-side timing shipped back as plain data.
+                resolved, (start_wall, duration_s, pid) = resolved
+                tracer.record_completed(
+                    "batch.overlap.worker",
+                    parent=parent,
+                    start_wall=start_wall,
+                    duration_s=duration_s,
+                    pid=pid,
+                )
+            for (query_index, dataset_id), indices in resolved.items():
                 leaves = snapshots[dataset_id].leaves
                 needed0[(query_index, dataset_id)] = [leaves[j] for j in indices]
         return needed0, versions0
@@ -603,6 +686,9 @@ class ProcessExecutor(ParallelExecutor):
         needed0: dict[tuple[int, int], list[PartitionNode]],
         decisions,
         pool: ProcessPoolExecutor,
+        *,
+        tracer=None,
+        parent=None,
     ) -> tuple[list[list[SpatialObject]], list[int], tuple[int, int]]:
         """Stage every distinct group's pages once, filter per query in workers."""
         processor = self._processor
@@ -669,6 +755,7 @@ class ProcessExecutor(ParallelExecutor):
                     "dimension": catalog.dimension,
                     "page_size": page_size,
                     "shm_name": None if block is None else block.name,
+                    "trace": tracer is not None,
                     "plan": [
                         (
                             dataset_id,
@@ -679,7 +766,20 @@ class ProcessExecutor(ParallelExecutor):
                 }
                 futures.append(pool.submit(_filter_query_task, task))
             for query, future in zip(batch.queries, futures):
-                results[query.index] = future.result()
+                hits = future.result()
+                if tracer is not None:
+                    # Graft the worker-side timing shipped back as data.
+                    hits, (start_wall, duration_s, pid) = hits
+                    tracer.record_completed(
+                        "query.filter",
+                        parent=parent,
+                        start_wall=start_wall,
+                        duration_s=duration_s,
+                        query=query.index,
+                        hits=len(hits),
+                        pid=pid,
+                    )
+                results[query.index] = hits
         finally:
             if block is not None:
                 block.close()

@@ -38,6 +38,7 @@ from repro.data.dataset import DatasetCatalog
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
 from repro.geometry.vectorized import box_to_arrays, intersect_mask
+from repro.obs.trace import maybe_span
 from repro.storage.buffer import BufferCounters
 from repro.storage.pagedfile import PagedFile, StoredRun
 
@@ -126,6 +127,7 @@ class QueryProcessor:
         self._last_report: QueryReport | None = None
         self._gate = threading.RLock()
         self._durability = None
+        self._tracer = None
         self._epochs = None
         if config.snapshot_reads:
             from repro.core.epoch import EpochManager
@@ -201,6 +203,23 @@ class QueryProcessor:
         self._last_report = report
 
     # ------------------------------------------------------------------ #
+    # Telemetry (observation only)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.obs.trace.Tracer` (or ``None``).
+
+        Shared with the batch/parallel/epoch executors; tracing is
+        observation only and never feeds back into any decision.
+        """
+        return self._tracer
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or with ``None``, detach) a tracer for query spans."""
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------ #
     # Durability (crash-consistent manifest journaling)
     # ------------------------------------------------------------------ #
 
@@ -245,7 +264,8 @@ class QueryProcessor:
         is); a no-op when snapshot reads are disabled.
         """
         if self._epochs is not None:
-            self._epochs.publish(self._trees, self._directory, self._statistics)
+            with maybe_span(self._tracer, "epoch.publish"):
+                self._epochs.publish(self._trees, self._directory, self._statistics)
 
     # ------------------------------------------------------------------ #
     # Query execution
@@ -255,7 +275,17 @@ class QueryProcessor:
         """Execute one range query over the requested datasets."""
         ids = tuple(dataset_ids)
         with self._gate:
-            results = self._execute(box, ids)
+            with maybe_span(self._tracer, "query") as span:
+                results = self._execute(box, ids)
+                if span is not None:
+                    report = self._last_report
+                    span.attributes.update(
+                        datasets=list(report.requested),
+                        route=report.route,
+                        examined=report.objects_examined,
+                        hits=len(results),
+                        refinements=report.refinements,
+                    )
             self.publish_epoch()
             self.commit_durable([(box, ids)])
             return results
@@ -277,9 +307,10 @@ class QueryProcessor:
         # 1. Lazy initialisation of partition trees (in-situ first touch).
         for dataset_id in sorted(requested):
             if dataset_id not in self._trees:
-                tree = self._adaptor.create_tree(self._catalog.get(dataset_id))
-                self._adaptor.initialize(tree)
-                self._trees[dataset_id] = tree
+                with maybe_span(self._tracer, "query.init_tree", dataset=dataset_id):
+                    tree = self._adaptor.create_tree(self._catalog.get(dataset_id))
+                    self._adaptor.initialize(tree)
+                    self._trees[dataset_id] = tree
                 report.initialized_datasets.append(dataset_id)
 
         # 2. Locate the leaf partitions each dataset must read.  The

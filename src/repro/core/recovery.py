@@ -38,6 +38,7 @@ ROADMAP.md.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import asdict
 from typing import TYPE_CHECKING, Iterable
@@ -55,6 +56,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
 
 #: Manifest schema version (bumped on incompatible layout changes).
 MANIFEST_VERSION = 1
+
+#: Silent unless the embedding application configures handlers (e.g. via
+#: :func:`repro.obs.configure_json_logging`).
+logger = logging.getLogger("repro.recovery")
 
 
 class RecoveryError(RuntimeError):
@@ -260,6 +265,15 @@ def recover(
             f"unsupported manifest version {manifest.get('version')!r}"
         )
 
+    logger.info(
+        "recovery started",
+        extra={
+            "journal": str(journal.path),
+            "committed_queries": len(manifest["queries"]),
+            "datasets": len(manifest["catalog"]["datasets"]),
+        },
+    )
+
     # Heal the journal before re-using it: a torn tail left by the crash
     # would swallow every post-recovery append (records() stops at the
     # first torn record).  Atomically rewriting the file down to the
@@ -278,7 +292,10 @@ def recover(
     for name in raw_names:
         if not disk.file_exists(name):
             raise RecoveryError(f"raw dataset file {name!r} is missing")
-    _wipe_derived_files(disk, raw_names)
+    dropped = _wipe_derived_files(disk, raw_names)
+    logger.info(
+        "derived files wiped", extra={"dropped_files": len(dropped)}
+    )
 
     datasets = [
         Dataset.open(
@@ -291,4 +308,8 @@ def recover(
         engine.query(_decode_box(entry), entry["ids"])
 
     engine.attach_journal(journal, committed=list(manifest["queries"]))
+    logger.info(
+        "recovery complete",
+        extra={"replayed_queries": len(manifest["queries"])},
+    )
     return engine

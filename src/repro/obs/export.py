@@ -1,0 +1,79 @@
+"""Exporters: JSON and Prometheus text for snapshots, JSON for traces.
+
+The Prometheus exposition follows the text format's conventions without
+depending on any client library: dotted metric names are mangled to
+``repro_``-prefixed underscore names, counters and gauges get ``# TYPE``
+headers, and histograms expand to cumulative ``_bucket{le="..."}``
+series plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.metrics import EngineSnapshot
+from repro.obs.trace import Span, Tracer
+
+
+def snapshot_to_json(snapshot: EngineSnapshot, *, indent: int | None = 2) -> str:
+    """The snapshot as a JSON document."""
+    return json.dumps(snapshot.to_dict(), indent=indent, sort_keys=True)
+
+
+def _mangle(name: str) -> str:
+    """``disk.io.pages_read`` -> ``repro_disk_io_pages_read``."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name.replace(".", "_")
+    )
+    return f"repro_{cleaned}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def snapshot_to_prometheus(snapshot: EngineSnapshot) -> str:
+    """The snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot.counters):
+        mangled = _mangle(name)
+        lines.append(f"# TYPE {mangled} counter")
+        lines.append(f"{mangled} {_format_value(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        mangled = _mangle(name)
+        lines.append(f"# TYPE {mangled} gauge")
+        lines.append(f"{mangled} {_format_value(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        state = snapshot.histograms[name]
+        mangled = _mangle(name)
+        lines.append(f"# TYPE {mangled} histogram")
+        cumulative = 0
+        for bound, count in zip(state["bounds"], state["bucket_counts"]):
+            cumulative += count
+            lines.append(f'{mangled}_bucket{{le="{repr(float(bound))}"}} {cumulative}')
+        cumulative += state.get("overflow", 0)
+        lines.append(f'{mangled}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{mangled}_sum {repr(float(state['total']))}")
+        lines.append(f"{mangled}_count {state['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def spans_to_json(
+    spans: Iterable[Span], *, evicted: int = 0, indent: int | None = 2
+) -> str:
+    """A span list as a JSON trace document (oldest span first)."""
+    return json.dumps(
+        {"evicted": evicted, "spans": [span.to_dict() for span in spans]},
+        indent=indent,
+    )
+
+
+def write_trace(tracer: Tracer, path) -> int:
+    """Dump the tracer's completed spans to ``path``; returns span count."""
+    spans = tracer.finished()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spans_to_json(spans, evicted=tracer.evicted))
+    return len(spans)

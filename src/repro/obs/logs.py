@@ -1,0 +1,67 @@
+"""Structured JSON logging over the stdlib — off by default.
+
+The engine's modules log through ordinary ``logging.getLogger``
+loggers under the ``repro`` namespace at INFO/DEBUG.  With no handler
+configured those records go nowhere (the stdlib last-resort handler
+only prints WARNING and above), so the default run is silent.  Call
+:func:`configure_json_logging` to attach a stream handler that renders
+every record as one JSON object per line.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message, extras."""
+
+    #: ``LogRecord`` attributes that are not user-supplied extras.
+    _STANDARD = frozenset(
+        logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+    ) | {"message", "asctime", "taskName"}
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "iso": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in self._STANDARD and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                except TypeError:
+                    value = repr(value)
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def configure_json_logging(
+    level: int = logging.INFO, stream=None
+) -> logging.Handler:
+    """Attach a JSON handler to the ``repro`` logger namespace.
+
+    Idempotent per stream: calling twice replaces the previous handler
+    rather than duplicating output.  Returns the handler so callers
+    (tests) can detach it with ``logging.getLogger("repro").
+    removeHandler(handler)``.
+    """
+    logger = logging.getLogger("repro")
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_json", False):
+            logger.removeHandler(existing)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    handler._repro_json = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -89,13 +89,15 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from queue import Empty, Queue
 from typing import Iterable
 
 from repro.core.odyssey import SpaceOdyssey
 from repro.data.spatial_object import SpatialObject
 from repro.geometry.box import Box
+from repro.obs.metrics import Histogram, HistogramSummary
+from repro.obs.trace import maybe_span
 from repro.storage.errors import is_transient
 
 
@@ -153,6 +155,10 @@ class ServiceStats:
     retries: int = 0
     degraded: int = 0
     breaker_opens: int = 0
+    #: Submit→resolve latency digest (count/total/min/max/p50/p90/p99),
+    #: or ``None`` before any query has resolved.  Only snapshots handed
+    #: out by :attr:`QueryService.stats` carry it.
+    latency: HistogramSummary | None = None
 
     @property
     def mean_batch_size(self) -> float | None:
@@ -319,6 +325,7 @@ class QueryService:
         self._abort = False
         self._stats_lock = threading.Lock()
         self._stats = ServiceStats()
+        self._latency = Histogram("serve.latency_seconds")
         self._writer: threading.Thread | None = None
         if self._pipeline:
             # Depth 2: the dispatcher may finish preparing batch N+1
@@ -373,9 +380,17 @@ class QueryService:
 
     @property
     def stats(self) -> ServiceStats:
-        """A snapshot of the serving counters."""
+        """A snapshot of the serving counters (latency digest included)."""
         with self._stats_lock:
-            return self._stats
+            stats = self._stats
+        summary = self._latency.summary()
+        return replace(stats, latency=summary if summary.count else None)
+
+    @property
+    def latency_histogram(self) -> Histogram:
+        """The live submit→resolve latency histogram (mergeable across
+        services by the engine's metrics registry)."""
+        return self._latency
 
     @property
     def closed(self) -> bool:
@@ -482,39 +497,50 @@ class QueryService:
         if self._pipeline:
             prepared = None
             if not self._breaker_is_open():
-                try:
-                    prepared = self._retry_transient(
-                        lambda: self._odyssey.prepare_batch(
-                            [(s.box, s.dataset_ids) for s in batch],
-                            workers=self._workers,
+                with maybe_span(
+                    self._odyssey.tracer,
+                    "serve.prepare",
+                    queries=len(batch),
+                    flush=reason,
+                ):
+                    try:
+                        prepared = self._retry_transient(
+                            lambda: self._odyssey.prepare_batch(
+                                [(s.box, s.dataset_ids) for s in batch],
+                                workers=self._workers,
+                            )
                         )
-                    )
-                except BaseException:
-                    # A failed read phase (e.g. an unknown dataset id —
-                    # ids are validated before any work) leaves no state
-                    # behind; the writer replays the batch sequentially
-                    # for failure isolation, keeping arrival order.
-                    prepared = None
+                    except BaseException:
+                        # A failed read phase (e.g. an unknown dataset id —
+                        # ids are validated before any work) leaves no state
+                        # behind; the writer replays the batch sequentially
+                        # for failure isolation, keeping arrival order.
+                        prepared = None
             self._write_queue.put((batch, reason, prepared))
             return
         if self._shed_if_degraded(batch, reason):
             return
         fallbacks = 0
         failed = 0
-        try:
-            result = self._odyssey.query_batch(
-                [(s.box, s.dataset_ids) for s in batch], workers=self._workers
-            )
-        except BaseException:
-            # Failure isolation: replay the batch sequentially (same
-            # arrival order) so only the offending queries fail.  The
-            # batch executor validates every dataset id before doing
-            # any work, so a validation failure left no partial state.
-            fallbacks = 1
-            failed = self._replay_sequentially(batch)
-        else:
-            for submission, hits in zip(batch, result.results):
-                self._resolve(submission, hits=hits)
+        with maybe_span(
+            self._odyssey.tracer, "serve.batch", queries=len(batch), flush=reason
+        ) as span:
+            try:
+                result = self._odyssey.query_batch(
+                    [(s.box, s.dataset_ids) for s in batch], workers=self._workers
+                )
+            except BaseException:
+                # Failure isolation: replay the batch sequentially (same
+                # arrival order) so only the offending queries fail.  The
+                # batch executor validates every dataset id before doing
+                # any work, so a validation failure left no partial state.
+                fallbacks = 1
+                failed = self._replay_sequentially(batch)
+            else:
+                for submission, hits in zip(batch, result.results):
+                    self._resolve(submission, hits=hits)
+            if span is not None:
+                span.attributes.update(fallback=bool(fallbacks), failed=failed)
         self._breaker_record(failed)
         self._note_batch(batch, reason, fallbacks=fallbacks)
 
@@ -529,18 +555,23 @@ class QueryService:
                 continue
             fallbacks = 0
             failed = 0
-            if prepared is None:
-                fallbacks = 1
-                failed = self._replay_sequentially(batch)
-            else:
-                try:
-                    result = self._odyssey.commit_batch(prepared)
-                except BaseException:
+            with maybe_span(
+                self._odyssey.tracer, "serve.commit", queries=len(batch), flush=reason
+            ) as span:
+                if prepared is None:
                     fallbacks = 1
                     failed = self._replay_sequentially(batch)
                 else:
-                    for submission, hits in zip(batch, result.results):
-                        self._resolve(submission, hits=hits)
+                    try:
+                        result = self._odyssey.commit_batch(prepared)
+                    except BaseException:
+                        fallbacks = 1
+                        failed = self._replay_sequentially(batch)
+                    else:
+                        for submission, hits in zip(batch, result.results):
+                            self._resolve(submission, hits=hits)
+                if span is not None:
+                    span.attributes.update(fallback=bool(fallbacks), failed=failed)
             self._breaker_record(failed)
             self._note_batch(batch, reason, fallbacks=fallbacks)
 
@@ -664,6 +695,7 @@ class QueryService:
             # query still executed (the arrival-order schedule is never
             # edited after the fact); only the delivery is dropped.
             outcome = "cancelled"
+        self._latency.observe(time.perf_counter() - submission.submitted_at)
         with self._stats_lock:
             self._stats = _bump(self._stats, **{outcome: 1})
 

@@ -100,6 +100,7 @@ class Disk:
         self._head: tuple[str, int] | None = None
         self._lock = threading.RLock()
         self._snapshot_sinks: list = []
+        self._tracer = None
         # A retry-capable backend (repro.storage.retry.RetryingBackend)
         # exposes add_retry_listener; fold its activity into IOStats so
         # retries are visible wherever I/O accounting already flows.
@@ -110,6 +111,8 @@ class Disk:
     def _on_retry_event(self, event: str) -> None:
         with self._lock:  # RLock: safe when the op already holds it
             self._stats.record_retry_event(event)
+        if self._tracer is not None:
+            self._tracer.event("disk.retry", event=event)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -157,8 +160,30 @@ class Disk:
 
     @property
     def stats(self) -> IOStats:
-        """The cumulative I/O statistics (mutable, shared)."""
+        """The cumulative I/O statistics — a **live view**.
+
+        This is the disk's own mutable accumulator, shared with every
+        concurrent operation; two attribute reads may observe different
+        in-flight states.  Use :meth:`stats_snapshot` for an atomic,
+        immutable copy.
+        """
         return self._stats
+
+    def stats_snapshot(self) -> IOStats:
+        """An atomic immutable copy of the I/O statistics.
+
+        Taken under the disk lock, so no concurrent page access can be
+        half-accounted in the copy.
+        """
+        with self._lock:
+            return self._stats.snapshot()
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or with ``None``, detach) a :class:`~repro.obs.trace.
+        Tracer` recording page-I/O and retry events.  Observation only:
+        tracing changes no charging, no caching and no head movement.
+        """
+        self._tracer = tracer
 
     @property
     def buffer_pool(self) -> BufferPool | ShardedBufferPool:
@@ -293,6 +318,10 @@ class Disk:
                 kind = self._classify(name, first_uncached)
                 self._charge_read(kind, uncached)
                 self._advance_head(name, start + count - 1)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "disk.read_run", file=name, pages=count, uncached=uncached
+                )
             return pages
 
     def read_run_at(self, name: str, start: int, count: int, lookup) -> list[bytes]:
@@ -342,6 +371,10 @@ class Disk:
                 kind = self._classify(name, first_uncached)
                 self._charge_read(kind, uncached)
                 self._advance_head(name, start + count - 1)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "disk.read_run_at", file=name, pages=count, uncached=uncached
+                )
             return pages
 
     def write_page(self, name: str, page_no: int, data: bytes) -> None:
@@ -358,6 +391,8 @@ class Disk:
             self._charge_write(kind, 1)
             self._advance_head(name, page_no)
             self._recache(name, page_no)
+            if self._tracer is not None:
+                self._tracer.event("disk.write_page", file=name, page=page_no)
 
     def append_page(self, name: str, data: bytes) -> int:
         """Append one page to the end of the file and return its number."""
@@ -382,6 +417,10 @@ class Disk:
                 self._recache(name, page_no)
             self._charge_write(kind, len(pages))
             self._advance_head(name, first + len(pages) - 1)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "disk.append_run", file=name, pages=len(pages), first_page=first
+                )
             return first
 
     def _recache(self, name: str, page_no: int) -> None:

@@ -45,6 +45,8 @@ import zlib
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.obs.trace import maybe_span
+
 #: Per-record header: payload length and crc32 of the payload.
 RECORD_HEADER = struct.Struct("<II")
 
@@ -66,6 +68,13 @@ class ManifestJournal:
         self._compact_every = compact_every
         self._crash_hook = crash_hook
         self._commits = 0
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or with ``None``, detach) a tracer recording commit
+        and rewrite spans.  Observation only: it never changes what, or
+        whether, bytes hit the disk."""
+        self._tracer = tracer
 
     @property
     def path(self) -> Path:
@@ -96,35 +105,37 @@ class ManifestJournal:
             self.rewrite(record)
             return
         encoded = self._encode(record)
-        self._crash_point("journal.commit.start")
-        half = len(encoded) // 2
-        with self._path.open("ab") as handle:
-            handle.write(encoded[:half])
-            try:
-                self._crash_point("journal.commit.torn")
-            except BaseException:
-                # Persist the torn prefix exactly as a power loss would.
+        with maybe_span(self._tracer, "journal.commit", bytes=len(encoded)):
+            self._crash_point("journal.commit.start")
+            half = len(encoded) // 2
+            with self._path.open("ab") as handle:
+                handle.write(encoded[:half])
+                try:
+                    self._crash_point("journal.commit.torn")
+                except BaseException:
+                    # Persist the torn prefix exactly as a power loss would.
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    raise
+                handle.write(encoded[half:])
                 handle.flush()
                 os.fsync(handle.fileno())
-                raise
-            handle.write(encoded[half:])
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._crash_point("journal.commit.end")
+            self._crash_point("journal.commit.end")
 
     def rewrite(self, record: dict[str, Any]) -> None:
         """Atomically replace the whole journal with one record."""
         encoded = self._encode(record)
-        self._crash_point("journal.rewrite.start")
-        tmp = self._path.with_suffix(self._path.suffix + ".tmp")
-        with tmp.open("wb") as handle:
-            handle.write(encoded)
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._crash_point("journal.rewrite.before_rename")
-        os.replace(tmp, self._path)
-        self._fsync_dir()
-        self._crash_point("journal.rewrite.end")
+        with maybe_span(self._tracer, "journal.rewrite", bytes=len(encoded)):
+            self._crash_point("journal.rewrite.start")
+            tmp = self._path.with_suffix(self._path.suffix + ".tmp")
+            with tmp.open("wb") as handle:
+                handle.write(encoded)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._crash_point("journal.rewrite.before_rename")
+            os.replace(tmp, self._path)
+            self._fsync_dir()
+            self._crash_point("journal.rewrite.end")
 
     def _fsync_dir(self) -> None:
         # Durability of the rename itself; ignored where directories

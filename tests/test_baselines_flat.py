@@ -130,7 +130,7 @@ class TestFLATIndex:
         for kind in ("flat", "rtree"):
             disk = Disk(model=DiskModel(), buffer_pages=0)
             dataset = make_dataset(disk, universe, count=1500, seed=5)
-            before = disk.stats.snapshot()
+            before = disk.stats_snapshot()
             index = (
                 FLATIndex(disk, "f", universe, build_memory_pages=8)
                 if kind == "flat"

@@ -85,7 +85,7 @@ class TestQuery:
         dataset = Dataset.create(disk, 0, "corner", objects, universe)
         grid = GridIndex(disk, "g", universe, cells_per_dim=4)
         grid.build([dataset])
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         result = grid.query(Box.cube((90.0, 90.0, 90.0), 5.0))
         assert result == []
         assert disk.stats.delta_since(before).pages_read == 0

@@ -66,7 +66,7 @@ class TestBuild:
         for memory_pages in (4, 4096):
             disk = Disk(model=DiskModel(seek_time_s=0), buffer_pages=0)
             dataset = make_dataset(disk, universe, count=2000, seed=3)
-            before = disk.stats.snapshot()
+            before = disk.stats_snapshot()
             tree = STRRTree(disk, "r", universe, build_memory_pages=memory_pages)
             tree.build([dataset])
             results[memory_pages] = disk.stats.delta_since(before).io_seconds
@@ -103,7 +103,7 @@ class TestQuery:
         tree.build([dataset])
         disk.clear_cache()
         disk.reset_head()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         tree.query(Box.cube((50.0, 50.0, 50.0), 10.0))
         delta = disk.stats.delta_since(before)
         assert delta.pages_read >= 1  # at least the root

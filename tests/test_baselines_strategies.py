@@ -79,11 +79,11 @@ class TestOneForEach:
         strategy = OneForEach(catalog, grid_factory, "Grid-1fE")
         strategy.build()
         disk.clear_cache()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         strategy.query(QUERY, [0])
         one_dataset_io = disk.stats.delta_since(before).pages_read
         disk.clear_cache()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         strategy.query(QUERY, [0, 1, 2])
         all_datasets_io = disk.stats.delta_since(before).pages_read
         assert all_datasets_io >= one_dataset_io

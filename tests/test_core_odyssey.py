@@ -130,7 +130,7 @@ class TestAdaptivity:
         for _ in range(6):
             disk.clear_cache()
             disk.reset_head()
-            before = disk.stats.snapshot()
+            before = disk.stats_snapshot()
             odyssey.query(query, [0, 1])
             costs.append(disk.stats.delta_since(before).simulated_seconds)
         assert costs[-1] < costs[0]

@@ -74,7 +74,7 @@ class TestInitialization:
     def test_initialization_scans_raw_file_once(self, adaptor, dataset, disk):
         tree = adaptor.create_tree(dataset)
         disk.reset_head()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         adaptor.initialize(tree)
         delta = disk.stats.delta_since(before)
         assert delta.pages_read >= dataset.size_pages()

@@ -54,7 +54,7 @@ class TestDatasetCreate:
     def test_scan_charges_sequential_io(self, disk, universe):
         dataset = make_dataset(disk, universe, count=400)
         disk.reset_head()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         dataset.read_all()
         delta = disk.stats.delta_since(before)
         assert delta.pages_read == dataset.size_pages()

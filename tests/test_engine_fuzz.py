@@ -107,8 +107,18 @@ def _random_scenario(rng: random.Random) -> dict:
     }
 
 
-def run_fuzz_scenario(seed: int, compression: str | None = None) -> None:
-    """Derive the scenario for ``seed``, run all six engines, assert agreement."""
+def run_fuzz_scenario(
+    seed: int, compression: str | None = None, traced: bool = False
+) -> None:
+    """Derive the scenario for ``seed``, run all six engines, assert agreement.
+
+    ``traced=True`` enables full per-phase tracing on the four batch-path
+    engines (batch, parallel, epoch, process) while scalar and columnar
+    stay untraced — every cross-engine equality below then doubles as a
+    proof that telemetry observes without perturbing: traced engines must
+    match the untraced references bit-for-bit (hits, reports, adaptive
+    state, on-disk bytes).
+    """
     rng = random.Random(seed)
     scenario = _random_scenario(rng)
     tag = f"fuzz seed {seed} ({scenario['dimension']}-D, {scenario['n_queries']} queries)"
@@ -145,6 +155,10 @@ def run_fuzz_scenario(seed: int, compression: str | None = None) -> None:
     parallel = SpaceOdyssey(suite.fork().catalog, config)
     epoch = SpaceOdyssey(suite.fork().catalog, config)
     process = SpaceOdyssey(suite.fork().catalog, config)
+    tracers = {}
+    if traced:
+        for engine in (batch, parallel, epoch, process):
+            tracers[engine] = engine.enable_tracing(capacity=512)
 
     scalar_hits, scalar_reports = [], []
     columnar_hits, columnar_reports = [], []
@@ -232,6 +246,14 @@ def run_fuzz_scenario(seed: int, compression: str | None = None) -> None:
             f"{tag}: {name} on-disk bytes diverged from scalar"
         )
 
+    if traced:
+        for engine, tracer in tracers.items():
+            spans = tracer.finished()
+            assert spans, f"{tag}: a traced engine recorded no spans"
+            assert any(span.name == "batch" for span in spans), (
+                f"{tag}: traced engine is missing its batch root spans"
+            )
+
 
 @pytest.mark.parametrize("seed", QUICK_SEEDS)
 def test_fuzz_quick(seed):
@@ -249,6 +271,17 @@ def test_fuzz_compressed_raw_files(seed):
     executor's staged buffers.
     """
     run_fuzz_scenario(seed, compression="zlib")
+
+
+@pytest.mark.parametrize("seed", QUICK_SEEDS[:2])
+def test_fuzz_traced(seed):
+    """The six-engine oracle with tracing fully enabled on the batch paths.
+
+    The observation-only contract of :mod:`repro.obs`: a traced engine is
+    bit-identical to an untraced one.  Scalar and columnar stay untraced
+    as references, so every equality the oracle asserts proves it.
+    """
+    run_fuzz_scenario(seed, traced=True)
 
 
 @pytest.mark.slow

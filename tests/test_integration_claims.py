@@ -147,7 +147,7 @@ class TestClaimC7MergingBenefit:
                     fork.disk.clear_cache()
                     fork.disk.reset_head()
                     odyssey.query(box, combination)
-            before = fork.disk.stats.snapshot()
+            before = fork.disk.stats_snapshot()
             for _ in range(measured_rounds):
                 for box in hot_boxes:
                     fork.disk.clear_cache()

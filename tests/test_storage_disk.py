@@ -58,7 +58,7 @@ class TestCostAccounting:
         for i in range(10):
             disk.append_page("f", bytes([i]))
         disk.reset_head()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         pages = disk.read_run("f", 0, 10)
         delta = disk.stats.delta_since(before)
         assert len(pages) == 10
@@ -72,7 +72,7 @@ class TestCostAccounting:
         for i in range(10):
             disk.append_page("f", bytes([i]))
         disk.reset_head()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         disk.read_page("f", 7)
         disk.read_page("f", 2)
         delta = disk.stats.delta_since(before)
@@ -83,7 +83,7 @@ class TestCostAccounting:
         for i in range(3):
             disk.append_page("f", bytes([i]))
         disk.reset_head()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         disk.read_page("f", 0)
         disk.read_page("f", 1)
         disk.read_page("f", 2)
@@ -96,7 +96,7 @@ class TestCostAccounting:
         disk.append_page("f", b"a")
         disk.append_page("g", b"b")
         disk.reset_head()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         disk.read_page("f", 0)
         disk.read_page("g", 0)
         assert disk.stats.delta_since(before).seeks == 2
@@ -106,7 +106,7 @@ class TestCostAccounting:
         for i in range(20):
             disk.append_page("f", bytes([i]))
         disk.reset_head()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         pages = list(disk.scan_pages("f"))
         delta = disk.stats.delta_since(before)
         assert len(pages) == 20
@@ -137,7 +137,7 @@ class TestBufferPool:
         disk.append_page("f", b"a")
         disk.clear_cache()
         disk.read_page("f", 0)
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         disk.read_page("f", 0)  # now cached
         delta = disk.stats.delta_since(before)
         assert delta.pages_read == 0
@@ -150,7 +150,7 @@ class TestBufferPool:
         disk.append_page("f", b"a")
         disk.read_page("f", 0)
         disk.clear_cache()
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         disk.read_page("f", 0)
         assert disk.stats.delta_since(before).pages_read == 1
 
@@ -169,6 +169,6 @@ class TestBufferPool:
         disk.create_file("f")
         disk.append_page("f", b"a")
         disk.write_page("f", 0, b"z")
-        before = disk.stats.snapshot()
+        before = disk.stats_snapshot()
         assert disk.read_page("f", 0).startswith(b"z")
         assert disk.stats.delta_since(before).pages_read == 0  # served from cache
